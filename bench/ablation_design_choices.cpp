@@ -1,0 +1,78 @@
+// Ablation of the paper's four modifications, one lever at a time, on the
+// B-64 / C-8 bordereau instances (the two extremes of Figure 3):
+//
+//   full new pipeline         - everything on (paper's final configuration)
+//   - cache-aware calibration - classic A-4 rate instead (paper issue #3)
+//   - piecewise network model - identity factors (paper issue #4a)
+//   - SMPI back-end           - old MSG replay of the same new-style trace
+//   + copy-time modelling     - the announced future-work feature
+//   fine/-O0 acquisition      - old-style trace through the new back-end
+//                               (paper issues #1/#2 in isolation)
+#include <cstdio>
+
+#include "exp/experiments.hpp"
+
+using namespace tir;
+
+namespace {
+
+void report(const char* label, const core::Prediction& p) {
+  std::printf("%-34s | %8.3fs vs %8.3fs real | err %+7.2f%%\n", label, p.predicted_seconds,
+              p.real_seconds, p.error_pct);
+  std::fflush(stdout);
+}
+
+void ablate(const exp::ClusterSetup& cluster, char cls, int np, int iters) {
+  apps::LuConfig lu;
+  lu.cls = apps::nas_class(cls);
+  lu.nprocs = np;
+  std::printf("--- instance %s on %s ---\n", lu.label().c_str(), cluster.name.c_str());
+
+  core::PipelineSettings base;
+  base.framework = core::Framework::Improved;
+  base.iterations = iters;
+  base.calibration_iterations = std::min(iters, 5);
+
+  report("full improved pipeline", core::predict_lu(lu, cluster.platform, cluster.truth, base));
+
+  core::PipelineSettings s = base;
+  s.force_classic_calibration = true;
+  report("- cache-aware calibration", core::predict_lu(lu, cluster.platform, cluster.truth, s));
+
+  s = base;
+  s.force_identity_piecewise = true;
+  report("- piecewise network model", core::predict_lu(lu, cluster.platform, cluster.truth, s));
+
+  s = base;
+  s.replay_models_copy_time = true;
+  report("+ copy-time modelling", core::predict_lu(lu, cluster.platform, cluster.truth, s));
+
+  s = base;
+  s.use_auto_calibration = true;
+  report("+ automatic calibration", core::predict_lu(lu, cluster.platform, cluster.truth, s));
+
+  s = base;
+  s.framework = core::Framework::Original;
+  report("original pipeline (all levers off)",
+         core::predict_lu(lu, cluster.platform, cluster.truth, s));
+
+  s = base;
+  s.sharing = sim::Sharing::MaxMin;
+  report("+ network contention (max-min)",
+         core::predict_lu(lu, cluster.platform, cluster.truth, s));
+}
+
+}  // namespace
+
+int main() {
+  const exp::ClusterSetup bd = exp::bordereau_setup();
+  const int iters = exp::bench_iterations(8);
+  exp::print_preamble("Ablation of the paper's modifications", "design study (DESIGN.md §5)",
+                      bd.name, iters);
+  ablate(bd, 'B', 64, iters);
+  ablate(bd, 'C', 8, iters);
+  // B-8 sits right at the L2 boundary: the instance where the binary
+  // cache-aware rate switch overshoots and automatic calibration pays off.
+  ablate(bd, 'B', 8, iters);
+  return 0;
+}

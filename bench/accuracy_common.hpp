@@ -1,0 +1,44 @@
+// Shared driver for Figures 3/6/7: relative error between real and
+// simulated execution times across process counts.
+#pragma once
+
+#include <vector>
+
+#include "exp/experiments.hpp"
+
+namespace tir::bench {
+
+inline void run_accuracy_series(const exp::ClusterSetup& cluster,
+                                const std::vector<int>& process_counts,
+                                core::Framework framework, const char* paper_ref) {
+  const int iters = exp::bench_iterations(10);
+  core::PipelineSettings settings;
+  settings.framework = framework;
+  settings.iterations = iters;
+  settings.calibration_iterations = std::min(iters, 5);
+  settings.probe_costs = cluster.probe_costs;
+
+  exp::print_preamble(std::string("Prediction accuracy, ") +
+                          (framework == core::Framework::Original
+                               ? "original framework (MSG back-end, A-4 calibration, fine/-O0)"
+                               : "improved framework (SMPI back-end, cache-aware calibration, "
+                                 "minimal/-O3)"),
+                      paper_ref, cluster.name, iters);
+  std::printf("# times scaled to the full NPB iteration count (250)\n#\n");
+
+  std::vector<exp::ErrorRow> rows;
+  for (const char cls : {'B', 'C'}) {
+    for (const int np : process_counts) {
+      apps::LuConfig lu;
+      lu.cls = apps::nas_class(cls);
+      lu.nprocs = np;
+      lu.iterations_override = iters;
+      const core::Prediction p = core::predict_lu(lu, cluster.platform, cluster.truth, settings);
+      rows.push_back({std::string(1, cls), np, exp::scale_to_full(p.real_seconds, lu),
+                      exp::scale_to_full(p.predicted_seconds, lu), p.error_pct});
+    }
+  }
+  exp::print_error_series(rows);
+}
+
+}  // namespace tir::bench

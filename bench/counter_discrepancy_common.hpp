@@ -1,0 +1,35 @@
+// Shared driver for Figures 1/2 (fine vs. coarse, -O0) and 4/5 (minimal vs.
+// coarse, -O3): distribution across processes of the relative difference in
+// measured instruction counts.
+#pragma once
+
+#include <vector>
+
+#include "exp/experiments.hpp"
+
+namespace tir::bench {
+
+inline void run_counter_discrepancy(const exp::ClusterSetup& cluster,
+                                    const std::vector<int>& process_counts,
+                                    hwc::Granularity granularity, hwc::CompilerModel compiler,
+                                    const char* paper_ref) {
+  const int iters = exp::bench_iterations(5);
+  const int runs = 3;  // the paper averages ten runs; three suffice here
+  exp::print_preamble(std::string("Counter discrepancy: ") +
+                          hwc::granularity_name(granularity) + " vs coarse, " + compiler.name,
+                      paper_ref, cluster.name, iters);
+  std::vector<exp::DistributionRow> rows;
+  for (const char cls : {'B', 'C'}) {
+    for (const int np : process_counts) {
+      apps::LuConfig lu;
+      lu.cls = apps::nas_class(cls);
+      lu.nprocs = np;
+      const exp::CounterComparison cmp =
+          exp::compare_counters(lu, cluster, granularity, compiler, runs, iters);
+      rows.push_back({lu.label(), cmp.summary});
+    }
+  }
+  exp::print_distribution_series(rows);
+}
+
+}  // namespace tir::bench

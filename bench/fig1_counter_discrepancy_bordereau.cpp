@@ -1,0 +1,12 @@
+// Figure 1: distribution across processes of the relative difference of
+// measured instruction counts, fine vs. coarse instrumentation (-O0),
+// bordereau cluster.  Expected shape: ~10-13% for most instances, worse
+// when per-process data is small (B-64).
+#include "counter_discrepancy_common.hpp"
+
+int main() {
+  tir::bench::run_counter_discrepancy(tir::exp::bordereau_setup(), {8, 16, 32, 64},
+                                      tir::hwc::Granularity::Fine, tir::hwc::kO0,
+                                      "Figure 1 (RR-8092)");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 2: fine vs. coarse counter discrepancy (-O0) on graphene, up to
+// 128 processes.  Expected shape: 11-16%, climbing to ~23% for B-128.
+#include "counter_discrepancy_common.hpp"
+
+int main() {
+  tir::bench::run_counter_discrepancy(tir::exp::graphene_setup(), {8, 16, 32, 64, 128},
+                                      tir::hwc::Granularity::Fine, tir::hwc::kO0,
+                                      "Figure 2 (RR-8092)");
+  return 0;
+}

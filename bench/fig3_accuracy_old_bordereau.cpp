@@ -1,0 +1,12 @@
+// Figure 3: relative error of the ORIGINAL framework on bordereau.
+// Expected shape: error grows roughly linearly with the process count,
+// from negative at 8 processes (out-of-cache compute underestimated,
+// especially class C) to +30..40% at 64 (eager-message cost accumulation
+// in the MSG back-end).
+#include "accuracy_common.hpp"
+
+int main() {
+  tir::bench::run_accuracy_series(tir::exp::bordereau_setup(), {8, 16, 32, 64},
+                                  tir::core::Framework::Original, "Figure 3 (RR-8092)");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 4: minimal vs. coarse counter discrepancy with -O3, bordereau.
+// Expected shape: under ~6% except B-64 (paper: 12% worst case).
+#include "counter_discrepancy_common.hpp"
+
+int main() {
+  tir::bench::run_counter_discrepancy(tir::exp::bordereau_setup(), {8, 16, 32, 64},
+                                      tir::hwc::Granularity::Minimal, tir::hwc::kO3,
+                                      "Figure 4 (RR-8092)");
+  return 0;
+}

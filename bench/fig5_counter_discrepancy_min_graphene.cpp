@@ -1,0 +1,11 @@
+// Figure 5: minimal vs. coarse counter discrepancy with -O3, graphene, up
+// to 128 processes.  Expected shape: close to zero except the tiny-data
+// instances (B-64, B-128).
+#include "counter_discrepancy_common.hpp"
+
+int main() {
+  tir::bench::run_counter_discrepancy(tir::exp::graphene_setup(), {8, 16, 32, 64, 128},
+                                      tir::hwc::Granularity::Minimal, tir::hwc::kO3,
+                                      "Figure 5 (RR-8092)");
+  return 0;
+}

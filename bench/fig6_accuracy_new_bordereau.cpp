@@ -1,0 +1,11 @@
+// Figure 6: relative error of the IMPROVED framework on bordereau.
+// Expected shape: bounded within roughly +-11%, no linear growth; the
+// B-8 instance sits at the positive edge (marginal cache regime vs. the
+// binary cache-aware rate selection).
+#include "accuracy_common.hpp"
+
+int main() {
+  tir::bench::run_accuracy_series(tir::exp::bordereau_setup(), {8, 16, 32, 64},
+                                  tir::core::Framework::Improved, "Figure 6 (RR-8092)");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 7: relative error of the IMPROVED framework on graphene, up to
+// 128 processes.  Expected shape: a narrow band of slight underestimation
+// (the unmodelled eager memory-copy time), deepening as the message count
+// grows with the process count.
+#include "accuracy_common.hpp"
+
+int main() {
+  tir::bench::run_accuracy_series(tir::exp::graphene_setup(), {8, 16, 32, 64, 128},
+                                  tir::core::Framework::Improved, "Figure 7 (RR-8092)");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Simulation-kernel microbenchmarks (google-benchmark): the cost of the
+// primitives everything else is built on.  These guard the "efficiency"
+// half of the paper's title at the engine level.
+#include <benchmark/benchmark.h>
+
+#include "apps/jacobi.hpp"
+#include "core/replay.hpp"
+#include "msg/msg.hpp"
+#include "platform/clusters.hpp"
+#include "sim/engine.hpp"
+#include "smpi/world.hpp"
+#include "tit/trace.hpp"
+
+namespace {
+
+using namespace tir;
+
+platform::Platform flat(int nodes) {
+  platform::Platform p;
+  platform::ClusterSpec spec;
+  spec.prefix = "h";
+  spec.nodes = nodes;
+  spec.core_speed = 1e9;
+  spec.link_bandwidth = 1.25e8;
+  spec.link_latency = 2e-5;
+  platform::build_flat_cluster(p, spec);
+  return p;
+}
+
+void BM_EngineExecActivities(benchmark::State& state) {
+  const platform::Platform p = flat(1);
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng(p);
+    eng.spawn("a", 0, 0, [n](sim::Ctx& ctx) -> sim::Coro {
+      for (int i = 0; i < n; ++i) co_await ctx.execute(1e6);
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineExecActivities)->Arg(1000)->Arg(10000);
+
+void BM_PingPong(benchmark::State& state) {
+  const platform::Platform p = flat(2);
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng(p);
+    smpi::Config cfg;
+    cfg.piecewise = smpi::PiecewiseModel();
+    smpi::World w(eng, cfg, {0, 1}, {0, 0});
+    w.spawn_ranks([&w, rounds](sim::Ctx& ctx, int me) -> sim::Coro {
+      for (int i = 0; i < rounds; ++i) {
+        if (me == 0) {
+          co_await w.send(ctx, 0, 1, 1024);
+          co_await w.recv(ctx, 0, 1, 1024);
+        } else {
+          co_await w.recv(ctx, 1, 0, 1024);
+          co_await w.send(ctx, 1, 0, 1024);
+        }
+      }
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_PingPong)->Arg(1000)->Arg(10000);
+
+void BM_MaxMinContention(benchmark::State& state) {
+  // All-pairs flows through one switch: stresses the max-min solver.
+  const auto n = static_cast<int>(state.range(0));
+  const platform::Platform p = flat(n);
+  for (auto _ : state) {
+    sim::Engine eng(p, sim::EngineConfig{sim::Sharing::MaxMin});
+    eng.spawn("driver", 0, 0, [n](sim::Ctx& ctx) -> sim::Coro {
+      std::vector<sim::ActivityPtr> comms;
+      for (int i = 0; i < n; ++i) {
+        comms.push_back(ctx.engine().make_comm(i, (i + 1) % n, 1e6));
+      }
+      for (auto& c : comms) co_await ctx.wait(std::move(c));
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MaxMinContention)->Arg(16)->Arg(64);
+
+void BM_Allreduce(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const platform::Platform p = flat(n);
+  for (auto _ : state) {
+    sim::Engine eng(p);
+    smpi::World w(eng, smpi::Config{}, smpi::World::scatter_hosts(p, n),
+                  std::vector<int>(static_cast<std::size_t>(n), 0));
+    w.spawn_ranks([&w](sim::Ctx& ctx, int me) -> sim::Coro {
+      for (int i = 0; i < 10; ++i) co_await w.allreduce(ctx, me, 64, 100);
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n * 10);
+}
+BENCHMARK(BM_Allreduce)->Arg(16)->Arg(64);
+
+void BM_TraceParse(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) {
+    text += "p0 compute 956140\np0 send p1 1240\np1 recv p0 1240\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tit::parse_trace_string(text, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * 3000);
+}
+BENCHMARK(BM_TraceParse);
+
+void BM_ReplayJacobi(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const tit::Trace trace = apps::jacobi_trace(apps::JacobiConfig{n, 512, 512, 50, 12.0, 10});
+  const platform::Platform p = flat(n);
+  core::ReplayConfig cfg;
+  cfg.rates = {2e9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::replay_smpi(trace, p, cfg).simulated_time);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(trace.total_actions()));
+}
+BENCHMARK(BM_ReplayJacobi)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Shared driver for Tables 1 and 2: acquisition-time overhead of the
+// original (fine, -O0) vs. modified (minimal, -O3) instrumentation.
+#pragma once
+
+#include <vector>
+
+#include "exp/experiments.hpp"
+
+namespace tir::bench {
+
+inline void run_overhead_table(const exp::ClusterSetup& cluster,
+                               const std::vector<int>& process_counts,
+                               const char* paper_ref) {
+  const int iters = exp::bench_iterations(10);
+  exp::print_preamble("Instrumentation time overhead", paper_ref, cluster.name, iters);
+  std::printf("# times scaled to the full NPB iteration count (250)\n#\n");
+
+  std::vector<exp::OverheadRow> rows;
+  for (const char cls : {'B', 'C'}) {
+    for (const int np : process_counts) {
+      apps::LuConfig lu;
+      lu.cls = apps::nas_class(cls);
+      lu.nprocs = np;
+      lu.iterations_override = iters;
+      const apps::MachineModel machine(cluster.truth);
+
+      const auto run = [&](hwc::Granularity g, hwc::CompilerModel cm) {
+        apps::AcquisitionConfig acq;
+        acq.granularity = g;
+        acq.compiler = cm;
+        acq.probe_costs = cluster.probe_costs;
+        return exp::scale_to_full(apps::run_lu(lu, cluster.platform, machine, acq).wall_time,
+                                  lu);
+      };
+
+      exp::OverheadRow row;
+      row.instance = lu.label();
+      row.orig_old = run(hwc::Granularity::None, hwc::kO0);
+      row.instr_old = run(hwc::Granularity::Fine, hwc::kO0);
+      row.orig_new = run(hwc::Granularity::None, hwc::kO3);
+      row.instr_new = run(hwc::Granularity::Minimal, hwc::kO3);
+      rows.push_back(row);
+    }
+  }
+  exp::print_overhead_table(rows);
+}
+
+}  // namespace tir::bench

@@ -1,0 +1,10 @@
+// Table 1: execution time and instrumentation overhead of original vs.
+// instrumented LU on the bordereau cluster, former implementation (fine
+// TAU instrumentation, -O0) vs. modified (minimal instrumentation, -O3).
+#include "overhead_table_common.hpp"
+
+int main() {
+  tir::bench::run_overhead_table(tir::exp::bordereau_setup(), {8, 16, 32, 64},
+                                 "Table 1 (RR-8092)");
+  return 0;
+}

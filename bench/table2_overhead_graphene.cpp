@@ -1,0 +1,8 @@
+// Table 2: same as Table 1 on the graphene cluster, up to 128 processes.
+#include "overhead_table_common.hpp"
+
+int main() {
+  tir::bench::run_overhead_table(tir::exp::graphene_setup(), {8, 16, 32, 64, 128},
+                                 "Table 2 (RR-8092)");
+  return 0;
+}

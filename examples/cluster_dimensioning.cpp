@@ -1,0 +1,77 @@
+// Cluster dimensioning: the use case motivating the paper's introduction -
+// "simulations can be used to determine a cost-effective hardware
+// configuration appropriate for the expected application workload".
+//
+//   $ ./cluster_dimensioning
+//
+// One Jacobi trace (the expected workload) is replayed, unchanged, on a
+// family of candidate clusters that vary node speed, interconnect
+// bandwidth and latency.  The trace is acquired exactly once - no access
+// to any of the candidate machines is needed, which is precisely what
+// time-independent traces buy.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/jacobi.hpp"
+#include "core/replay.hpp"
+#include "platform/clusters.hpp"
+
+int main() {
+  using namespace tir;
+
+  // The workload: a 4096x4096 Jacobi solver on 32 processes.
+  apps::JacobiConfig workload;
+  workload.nprocs = 32;
+  workload.nx = 4096;
+  workload.ny = 4096;
+  workload.iterations = 200;
+  const tit::Trace trace = apps::jacobi_trace(workload);
+  const tit::TraceStats ts = tit::stats(trace);
+  std::printf("workload: jacobi %dx%d on %d procs, %zu actions, %.2e instructions\n\n",
+              workload.nx, workload.ny, workload.nprocs, ts.actions, ts.compute_instructions);
+
+  struct Candidate {
+    std::string name;
+    double core_speed;  // instr/s
+    double link_bw;     // bytes/s
+    double link_lat;    // s
+    double cost_units;  // arbitrary procurement cost
+  };
+  const std::vector<Candidate> candidates = {
+      {"budget    (slow CPU, 1GbE)", 1.5e9, 1.25e8, 5e-5, 1.0},
+      {"balanced  (mid CPU, 1GbE)", 2.5e9, 1.25e8, 5e-5, 1.4},
+      {"cpu-heavy (fast CPU, 1GbE)", 4.0e9, 1.25e8, 5e-5, 2.0},
+      {"net-heavy (mid CPU, 10GbE)", 2.5e9, 1.25e9, 1e-5, 2.2},
+      {"premium   (fast CPU, 10GbE)", 4.0e9, 1.25e9, 1e-5, 2.8},
+  };
+
+  std::printf("%-30s | %10s | %12s | %s\n", "candidate cluster", "time", "time x cost",
+              "verdict");
+  std::printf("-------------------------------+------------+--------------+--------\n");
+  double best_metric = 1e300;
+  std::string best;
+  for (const Candidate& c : candidates) {
+    platform::Platform p;
+    platform::ClusterSpec spec;
+    spec.prefix = "n";
+    spec.nodes = workload.nprocs;
+    spec.core_speed = c.core_speed;
+    spec.link_bandwidth = c.link_bw;
+    spec.link_latency = c.link_lat;
+    platform::build_flat_cluster(p, spec);
+
+    core::ReplayConfig cfg;
+    cfg.rates = {c.core_speed};  // assume calibration at nominal speed
+    const double t = core::replay_smpi(trace, p, cfg).simulated_time;
+    const double metric = t * c.cost_units;
+    if (metric < best_metric) {
+      best_metric = metric;
+      best = c.name;
+    }
+    std::printf("%-30s | %9.3fs | %12.3f |\n", c.name.c_str(), t, metric);
+  }
+  std::printf("\nbest time-x-cost configuration: %s\n", best.c_str());
+  std::printf("(one trace, five hypothetical machines, zero additional tracing runs)\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// trace_inspect: summarize a Time-Independent Trace from its manifest.
+//
+//   $ ./trace_inspect trace.manifest [nprocs]
+//
+// Prints the aggregate volumes, a per-rank breakdown and a message-size
+// histogram with the 64 KiB eager threshold marked - the quantity the whole
+// paper turns on (how much of the traffic rides the eager path decides how
+// much the back-end choice matters).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "base/error.hpp"
+#include "base/units.hpp"
+#include "tit/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tir;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s TRACE_MANIFEST [NPROCS]\n", argv[0]);
+    return 2;
+  }
+  try {
+    const int np = argc > 2 ? std::atoi(argv[2]) : -1;
+    const tit::Trace trace = tit::load_trace(argv[1], np);
+    tit::validate(trace);
+    const tit::TraceStats total = tit::stats(trace);
+
+    std::printf("trace    : %s\n", argv[1]);
+    std::printf("processes: %d\n", trace.nprocs());
+    std::printf("actions  : %zu (%zu computes, %zu p2p, %zu collectives)\n", total.actions,
+                total.computes, total.p2p_messages, total.collectives);
+    std::printf("compute  : %.3e instructions\n", total.compute_instructions);
+    std::printf("traffic  : %s in p2p messages, %.1f%% of them eager (<64 KiB)\n",
+                units::format_bytes(total.p2p_bytes).c_str(),
+                total.p2p_messages > 0 ? 100.0 * total.eager_messages / total.p2p_messages
+                                       : 0.0);
+
+    std::printf("\nper-rank breakdown:\n");
+    std::printf("%6s %10s %12s %10s %14s\n", "rank", "actions", "instructions", "messages",
+                "bytes sent");
+    for (int r = 0; r < trace.nprocs(); ++r) {
+      double instr = 0.0;
+      double bytes = 0.0;
+      std::size_t msgs = 0;
+      for (const tit::Action& a : trace.actions(r)) {
+        if (a.type == tit::ActionType::Compute) instr += a.volume;
+        if (a.type == tit::ActionType::Send || a.type == tit::ActionType::Isend) {
+          ++msgs;
+          bytes += a.volume;
+        }
+      }
+      std::printf("%6d %10zu %12.3e %10zu %14s\n", r, trace.actions(r).size(), instr, msgs,
+                  units::format_bytes(bytes).c_str());
+    }
+
+    // Message-size histogram (powers of two), eager threshold marked.
+    std::vector<std::size_t> histogram(28, 0);
+    for (int r = 0; r < trace.nprocs(); ++r) {
+      for (const tit::Action& a : trace.actions(r)) {
+        if (a.type != tit::ActionType::Send && a.type != tit::ActionType::Isend) continue;
+        int bucket = 0;
+        while ((1u << bucket) < a.volume && bucket < 27) ++bucket;
+        ++histogram[static_cast<std::size_t>(bucket)];
+      }
+    }
+    const std::size_t peak = *std::max_element(histogram.begin(), histogram.end());
+    if (peak > 0) {
+      std::printf("\nmessage sizes (count per power-of-two bucket):\n");
+      for (std::size_t b = 0; b < histogram.size(); ++b) {
+        if (histogram[b] == 0) continue;
+        const int bar = static_cast<int>(40.0 * histogram[b] / peak);
+        std::printf("%10s |%-40.*s| %zu%s\n",
+                    units::format_bytes(static_cast<double>(1u << b)).c_str(), bar,
+                    "########################################", histogram[b],
+                    (1u << b) >= 65536 ? "  [rendezvous]" : "");
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "trace_inspect: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,37 @@
+#include "apps/cg.hpp"
+
+#include "base/error.hpp"
+
+namespace tir::apps {
+
+tit::Trace cg_trace(const CgConfig& cfg) {
+  TIR_ASSERT(cfg.nprocs >= 1);
+  tit::Trace trace(cfg.nprocs);
+  for (int r = 0; r < cfg.nprocs; ++r) {
+    const int right = (r + 1) % cfg.nprocs;
+    const int left = (r - 1 + cfg.nprocs) % cfg.nprocs;
+    trace.push({tit::ActionType::Init, r, -1, 0, 0});
+    trace.push({tit::ActionType::Bcast, r, 0, 56.0, 0});
+    for (int it = 0; it < cfg.iterations; ++it) {
+      // Sparse mat-vec with ring partition exchange.
+      if (cfg.nprocs > 1) {
+        if (r % 2 == 0) {
+          trace.push({tit::ActionType::Send, r, right, cfg.exchange_bytes, 0});
+          trace.push({tit::ActionType::Recv, r, left, cfg.exchange_bytes, 0});
+        } else {
+          trace.push({tit::ActionType::Recv, r, left, cfg.exchange_bytes, 0});
+          trace.push({tit::ActionType::Send, r, right, cfg.exchange_bytes, 0});
+        }
+      }
+      trace.push({tit::ActionType::Compute, r, -1, cfg.matvec_instructions, 0});
+      // Two dot products per CG iteration: rho and alpha denominators.
+      trace.push({tit::ActionType::AllReduce, r, -1, 8.0, cfg.dot_instructions});
+      trace.push({tit::ActionType::Compute, r, -1, cfg.dot_instructions, 0});
+      trace.push({tit::ActionType::AllReduce, r, -1, 8.0, cfg.dot_instructions});
+    }
+    trace.push({tit::ActionType::Finalize, r, -1, 0, 0});
+  }
+  return trace;
+}
+
+}  // namespace tir::apps

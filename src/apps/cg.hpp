@@ -1,0 +1,25 @@
+// CG-like trace generator: a latency-sensitive workload dominated by short
+// allreduces (the dot products of a conjugate-gradient iteration) plus
+// medium-sized halo exchanges along a ring.
+//
+// CG is the stress case for collective modelling: with two allreduces per
+// iteration the monolithic-collective back-end and the point-to-point one
+// diverge quickly, so it complements LU (eager point-to-point pressure) in
+// examples and regression tests.
+#pragma once
+
+#include "tit/trace.hpp"
+
+namespace tir::apps {
+
+struct CgConfig {
+  int nprocs = 4;
+  int iterations = 75;             ///< NPB CG class A/B use 75
+  double matvec_instructions = 6e8;///< per-rank sparse mat-vec cost
+  double dot_instructions = 2e6;   ///< per-rank dot-product cost
+  double exchange_bytes = 28000.0; ///< row-partition exchange (eager-sized)
+};
+
+tit::Trace cg_trace(const CgConfig& cfg);
+
+}  // namespace tir::apps

@@ -1,0 +1,25 @@
+#include "apps/ep.hpp"
+
+#include "base/error.hpp"
+
+namespace tir::apps {
+
+tit::Trace ep_trace(const EpConfig& cfg) {
+  TIR_ASSERT(cfg.nprocs >= 1);
+  TIR_ASSERT(cfg.blocks >= 1);
+  tit::Trace trace(cfg.nprocs);
+  const double per_rank = cfg.total_instructions / cfg.nprocs;
+  const double per_block = per_rank / cfg.blocks;
+  for (int r = 0; r < cfg.nprocs; ++r) {
+    trace.push({tit::ActionType::Init, r, -1, 0, 0});
+    for (int b = 0; b < cfg.blocks; ++b) {
+      trace.push({tit::ActionType::Compute, r, -1, per_block, 0});
+    }
+    // Tally of the random-pair counts: 10 doubles, trivial reduction work.
+    trace.push({tit::ActionType::AllReduce, r, -1, 80.0, 1e4});
+    trace.push({tit::ActionType::Finalize, r, -1, 0, 0});
+  }
+  return trace;
+}
+
+}  // namespace tir::apps

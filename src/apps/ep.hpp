@@ -1,0 +1,23 @@
+// EP-like embarrassingly parallel kernel: a Time-Independent Trace
+// generator for a compute-dominated workload (NPB EP shape: independent
+// random-number blocks, one tiny allreduce at the end).
+//
+// The paper notes its framework was already accurate for compute-intensive
+// applications; EP is the canonical member of that family and serves as an
+// example workload and a replay regression anchor.
+#pragma once
+
+#include "tit/trace.hpp"
+
+namespace tir::apps {
+
+struct EpConfig {
+  int nprocs = 4;
+  double total_instructions = 4e10;  ///< split evenly across ranks
+  int blocks = 16;                   ///< compute chunks per rank
+};
+
+/// Generate the trace directly (EP has no interesting acquisition story).
+tit::Trace ep_trace(const EpConfig& cfg);
+
+}  // namespace tir::apps

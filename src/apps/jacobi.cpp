@@ -1,0 +1,42 @@
+#include "apps/jacobi.hpp"
+
+#include "base/error.hpp"
+
+namespace tir::apps {
+
+tit::Trace jacobi_trace(const JacobiConfig& cfg) {
+  TIR_ASSERT(cfg.nprocs >= 1);
+  TIR_ASSERT(cfg.iterations >= 1);
+  tit::Trace trace(cfg.nprocs);
+  const double halo_bytes = 8.0 * cfg.nx;
+  for (int r = 0; r < cfg.nprocs; ++r) {
+    const int rows = cfg.ny / cfg.nprocs + (r < cfg.ny % cfg.nprocs ? 1 : 0);
+    const double pts = static_cast<double>(rows) * cfg.nx;
+    const int up = r > 0 ? r - 1 : -1;
+    const int down = r < cfg.nprocs - 1 ? r + 1 : -1;
+    trace.push({tit::ActionType::Init, r, -1, 0, 0});
+    trace.push({tit::ActionType::Bcast, r, 0, 24.0, 0});
+    for (int it = 0; it < cfg.iterations; ++it) {
+      // Red-black ordered halo exchange (deadlock-free under replay).
+      if (r % 2 == 0) {
+        if (down >= 0) trace.push({tit::ActionType::Send, r, down, halo_bytes, 0});
+        if (up >= 0) trace.push({tit::ActionType::Send, r, up, halo_bytes, 0});
+        if (down >= 0) trace.push({tit::ActionType::Recv, r, down, halo_bytes, 0});
+        if (up >= 0) trace.push({tit::ActionType::Recv, r, up, halo_bytes, 0});
+      } else {
+        if (up >= 0) trace.push({tit::ActionType::Recv, r, up, halo_bytes, 0});
+        if (down >= 0) trace.push({tit::ActionType::Recv, r, down, halo_bytes, 0});
+        if (up >= 0) trace.push({tit::ActionType::Send, r, up, halo_bytes, 0});
+        if (down >= 0) trace.push({tit::ActionType::Send, r, down, halo_bytes, 0});
+      }
+      trace.push({tit::ActionType::Compute, r, -1, cfg.instr_per_point * pts, 0});
+      if ((it + 1) % cfg.check_every == 0) {
+        trace.push({tit::ActionType::AllReduce, r, -1, 8.0, 2.0 * pts});
+      }
+    }
+    trace.push({tit::ActionType::Finalize, r, -1, 0, 0});
+  }
+  return trace;
+}
+
+}  // namespace tir::apps

@@ -1,0 +1,26 @@
+// Jacobi 2-D stencil trace generator: a communication-regular workload with
+// a 1-D process decomposition, halo exchanges every iteration and a
+// convergence allreduce every `check_every` iterations.
+//
+// Used by the examples (cluster dimensioning) and as a second pattern for
+// replay tests: unlike LU it has no wavefront, so its communication is not
+// latency-chain dominated.
+#pragma once
+
+#include "tit/trace.hpp"
+
+namespace tir::apps {
+
+struct JacobiConfig {
+  int nprocs = 4;
+  int nx = 1024, ny = 1024;       ///< global grid
+  int iterations = 100;
+  double instr_per_point = 12.0;  ///< stencil update cost
+  int check_every = 10;           ///< residual allreduce cadence
+};
+
+/// Row-block decomposition: rank r owns ny/nprocs rows; halos are full rows
+/// (nx * 8 bytes) exchanged with up/down neighbours.
+tit::Trace jacobi_trace(const JacobiConfig& cfg);
+
+}  // namespace tir::apps

@@ -1,0 +1,63 @@
+// Ground-truth machine behaviour: cache-dependent instruction rates + noise.
+//
+// This is the part of reality the *replay* framework does not see.  The
+// replay prices every instruction at one calibrated rate; the actual
+// machine runs a phase at a rate that depends on whether its working set
+// fits the per-core L2 cache (paper §2.3: the A-4 calibration instance fits,
+// larger instances do not, and that is what broke the original calibration).
+//
+// The penalty model is a steep linear ramp: working sets up to L2 run at
+// the in-cache rate; the rate degrades linearly and reaches the
+// out-of-cache asymptote at 1.35xL2 (SSOR sweeps thrash quickly once the
+// slab spills).  Probe/runtime instructions (instrumentation, MPI
+// internals) are small and hot, so they always run at the in-cache rate.
+//
+// Deterministic "system noise" (OS jitter, DVFS wiggle) multiplies each
+// region's duration by 1 +- amplitude, keyed by (seed, rank, event index) so
+// repeated runs reproduce bit-identical results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "base/rng.hpp"
+#include "platform/clusters.hpp"
+
+namespace tir::apps {
+
+class MachineModel {
+ public:
+  MachineModel(platform::ClusterCalibrationTruth truth, double noise_amplitude = 0.01,
+               std::uint64_t seed = 1)
+      : truth_(truth), noise_(noise_amplitude), seed_(seed) {}
+
+  const platform::ClusterCalibrationTruth& truth() const { return truth_; }
+
+  /// Application instruction rate for a phase with the given working set.
+  double app_rate(double working_set_bytes) const {
+    const double l2 = truth_.l2_bytes;
+    if (working_set_bytes <= l2) return truth_.rate_in_cache;
+    const double x = std::min((working_set_bytes - l2) / (0.35 * l2), 1.0);
+    return truth_.rate_in_cache - (truth_.rate_in_cache - truth_.rate_out_of_cache) * x;
+  }
+
+  /// Rate of instrumentation-probe / runtime code (always cache-hot).
+  double probe_rate() const { return truth_.rate_in_cache; }
+
+  /// Multiplicative noise factor for one region execution.
+  double noise_factor(std::uint64_t rank, std::uint64_t event_index) const {
+    if (noise_ <= 0.0) return 1.0;
+    const std::uint64_t stream = rng::combine(seed_, rank);
+    return 1.0 + noise_ * rng::uniform_pm1(stream, event_index);
+  }
+
+  double noise_amplitude() const { return noise_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  platform::ClusterCalibrationTruth truth_;
+  double noise_;
+  std::uint64_t seed_;
+};
+
+}  // namespace tir::apps

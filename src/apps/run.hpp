@@ -1,0 +1,52 @@
+// Simulated execution of an LU instance on the ground-truth machine model:
+// the stand-in for "running and tracing the real application on the real
+// cluster".  One function serves every acquisition mode of the paper:
+//
+//   granularity None    -> the original (uninstrumented) run: its wall time
+//                          is the reference the replay is judged against
+//                          (Tables 1-2 "Orig.", Figures 3/6/7 denominators);
+//   granularity Coarse  -> the counter-read-only run (reference counts for
+//                          Figures 1/2/4/5);
+//   granularity Fine    -> TAU default instrumentation (old pipeline);
+//   granularity Minimal -> selective instrumentation (new pipeline),
+//                          and the run that produces the Time-Independent
+//                          Trace when emit_trace is set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/lu.hpp"
+#include "apps/machine.hpp"
+#include "hwc/instrument.hpp"
+#include "smpi/world.hpp"
+#include "tit/trace.hpp"
+
+namespace tir::apps {
+
+struct AcquisitionConfig {
+  hwc::Granularity granularity = hwc::Granularity::None;
+  hwc::CompilerModel compiler = hwc::kO0;
+  hwc::ProbeCosts probe_costs{};
+  double noise = 0.01;        ///< system-noise amplitude of the real machine
+  std::uint64_t seed = 1;
+  sim::Sharing sharing = sim::Sharing::Uncontended;
+  bool emit_trace = false;    ///< record the Time-Independent Trace
+};
+
+struct RunResult {
+  double wall_time = 0.0;                ///< simulated makespan (seconds)
+  std::vector<double> counter_totals;    ///< per-rank measured instructions
+  std::vector<double> compute_seconds;   ///< per-rank time inside compute regions
+  tit::Trace trace;                      ///< filled when emit_trace
+  smpi::WorldStats mpi_stats;
+  std::uint64_t engine_steps = 0;
+};
+
+/// Execute one LU instance. `platform` supplies topology and link
+/// characteristics; `machine` supplies the ground-truth rates the replay
+/// does not know about.
+RunResult run_lu(const LuConfig& lu, const platform::Platform& platform,
+                 const MachineModel& machine, const AcquisitionConfig& acq);
+
+}  // namespace tir::apps

@@ -1,0 +1,51 @@
+// Error types shared across the TiR libraries.
+//
+// All recoverable failures (bad trace syntax, unknown platform entity,
+// inconsistent simulation state triggered by user input) throw an exception
+// derived from tir::Error.  Internal invariant violations use TIR_ASSERT,
+// which throws InternalError so tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tir {
+
+/// Base class of every exception thrown by the TiR libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input: trace syntax, platform files, bad configuration values.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// A simulated program used the simulation API incorrectly
+/// (e.g. receive with no matching send at end of simulation -> deadlock).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("simulation error: " + what) {}
+};
+
+/// Broken internal invariant. Indicates a bug in TiR itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  throw InternalError(std::string(expr) + " at " + file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace tir
+
+/// Always-on assertion that throws tir::InternalError (testable, no abort).
+#define TIR_ASSERT(expr) \
+  do { \
+    if (!(expr)) ::tir::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

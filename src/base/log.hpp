@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// The simulation kernel is performance sensitive, so log calls below the
+// active level must cost one branch.  Usage:
+//
+//   TIR_LOG(Info, "calibrated rate " << rate << " instr/s");
+//
+// The level is taken from the TIR_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error, default warn) and can be overridden
+// programmatically with set_level().
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace tir::log {
+
+enum class Level : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Currently active level (inclusive).
+Level level();
+void set_level(Level l);
+
+/// Destination stream; defaults to std::cerr. Not owned.
+void set_sink(std::ostream* sink);
+
+/// Emit one formatted record. Prefer the TIR_LOG macro.
+void write(Level l, const std::string& msg);
+
+const char* level_name(Level l);
+
+}  // namespace tir::log
+
+#define TIR_LOG(lvl, expr) \
+  do { \
+    if (::tir::log::Level::lvl >= ::tir::log::level()) { \
+      std::ostringstream tir_log_oss_; \
+      tir_log_oss_ << expr; \
+      ::tir::log::write(::tir::log::Level::lvl, tir_log_oss_.str()); \
+    } \
+  } while (false)

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the machine model (system noise, measurement
+// jitter) must be reproducible run-to-run, independent of evaluation order.
+// SplitMix64 provides stateless hashing of (stream, index) pairs so a phase's
+// noise depends only on its identity, never on how many draws happened before.
+#pragma once
+
+#include <cstdint>
+
+namespace tir::rng {
+
+/// SplitMix64 finalizer: high-quality 64-bit mix of an arbitrary key.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine keys into one stream id (order-sensitive).
+constexpr std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Uniform double in [0, 1), keyed by (stream, index).
+inline double uniform01(std::uint64_t stream, std::uint64_t index) {
+  return static_cast<double>(mix64(combine(stream, index)) >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [-1, 1), keyed by (stream, index).
+inline double uniform_pm1(std::uint64_t stream, std::uint64_t index) {
+  return 2.0 * uniform01(stream, index) - 1.0;
+}
+
+/// Stateful generator for places that want a sequence (xoshiro-style via
+/// splitmix increments; passes practical statistical needs of the models).
+class Sequence {
+ public:
+  explicit Sequence(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() { return mix64(state_++); }
+  double next_u01() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+  /// Uniform in [lo, hi).
+  double next_uniform(double lo, double hi) { return lo + (hi - lo) * next_u01(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tir::rng

@@ -1,0 +1,52 @@
+#include "base/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/error.hpp"
+
+namespace tir::stats {
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  TIR_ASSERT(!sorted.empty());
+  TIR_ASSERT(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> values) {
+  if (values.empty()) throw Error("summarize: empty input");
+  std::sort(values.begin(), values.end());
+  Summary s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.q1 = quantile_sorted(values, 0.25);
+  s.median = quantile_sorted(values, 0.5);
+  s.q3 = quantile_sorted(values, 0.75);
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) / static_cast<double>(s.count);
+  if (s.count >= 2) {
+    double acc = 0.0;
+    for (const double v : values) acc += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(acc / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+double relative_error_pct(double simulated, double reference) {
+  TIR_ASSERT(reference != 0.0);
+  return 100.0 * (simulated - reference) / reference;
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) throw Error("mean: empty input");
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+}  // namespace tir::stats

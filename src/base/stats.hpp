@@ -1,0 +1,37 @@
+// Descriptive statistics used by the experiment drivers.
+//
+// The paper's Figures 1/2/4/5 plot *distributions across processes* of
+// relative differences; Summary mirrors the five-number summary those
+// box-and-whisker style plots convey, plus mean and stddev.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tir::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;      ///< first quartile (linear interpolation)
+  double median = 0.0;
+  double q3 = 0.0;      ///< third quartile
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1); 0 when count < 2
+};
+
+/// Five-number summary + mean/stddev. Input need not be sorted.
+/// Throws tir::Error on empty input.
+Summary summarize(std::vector<double> values);
+
+/// Quantile with linear interpolation, q in [0,1]. Input must be sorted.
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// (simulated - reference) / reference, in percent.
+double relative_error_pct(double simulated, double reference);
+
+/// Arithmetic mean; throws on empty input.
+double mean(const std::vector<double>& values);
+
+}  // namespace tir::stats

@@ -1,0 +1,70 @@
+#include "base/string_util.hpp"
+
+#include <charconv>
+#include <cstdint>
+
+#include "base/error.hpp"
+
+namespace tir::str {
+
+namespace {
+bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_ws(s[b])) ++b;
+  while (e > b && is_ws(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_ws(s[i])) ++i;
+    const std::size_t begin = i;
+    while (i < s.size() && !is_ws(s[i])) ++i;
+    if (i > begin) out.push_back(s.substr(begin, i - begin));
+  }
+  return out;
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::uint64_t to_u64(std::string_view s, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ParseError("expected integer for " + std::string(what) + ", got '" + std::string(s) +
+                     "'");
+  }
+  return value;
+}
+
+double to_double(std::string_view s, std::string_view what) {
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ParseError("expected number for " + std::string(what) + ", got '" + std::string(s) +
+                     "'");
+  }
+  return value;
+}
+
+}  // namespace tir::str

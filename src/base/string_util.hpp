@@ -1,0 +1,28 @@
+// Small string helpers shared by the trace and platform parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tir::str {
+
+/// Strip leading/trailing whitespace (space, tab, CR, LF).
+std::string_view trim(std::string_view s);
+
+/// Split on any run of whitespace; no empty tokens.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Split on a single character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Case-sensitive prefix test.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a non-negative integer; throws tir::ParseError with context.
+std::uint64_t to_u64(std::string_view s, std::string_view what);
+
+/// Parse a double; throws tir::ParseError with context.
+double to_double(std::string_view s, std::string_view what);
+
+}  // namespace tir::str

@@ -1,0 +1,127 @@
+#include "base/units.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "base/error.hpp"
+
+namespace tir::units {
+
+namespace {
+
+/// Split "12.5GBps" into value 12.5 and suffix "GBps".
+std::pair<double, std::string> split_value_suffix(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() && (std::isspace(static_cast<unsigned char>(text[i])) != 0)) ++i;
+  const std::size_t begin = i;
+  while (i < text.size() &&
+         ((std::isdigit(static_cast<unsigned char>(text[i])) != 0) || text[i] == '.' ||
+          text[i] == '+' || text[i] == '-' || text[i] == 'e' || text[i] == 'E')) {
+    // Stop a lone 'e'/'E' from eating a unit like "eB": only treat it as an
+    // exponent when followed by a digit or sign.
+    if ((text[i] == 'e' || text[i] == 'E') &&
+        !(i + 1 < text.size() &&
+          ((std::isdigit(static_cast<unsigned char>(text[i + 1])) != 0) || text[i + 1] == '+' ||
+           text[i + 1] == '-'))) {
+      break;
+    }
+    ++i;
+  }
+  if (i == begin) throw ParseError("no numeric value in '" + std::string(text) + "'");
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(text.substr(begin, i - begin)));
+  } catch (const std::exception&) {
+    throw ParseError("bad numeric value in '" + std::string(text) + "'");
+  }
+  while (i < text.size() && (std::isspace(static_cast<unsigned char>(text[i])) != 0)) ++i;
+  std::size_t end = text.size();
+  while (end > i && (std::isspace(static_cast<unsigned char>(text[end - 1])) != 0)) --end;
+  return {value, std::string(text.substr(i, end - i))};
+}
+
+double size_multiplier(const std::string& suffix, std::string_view original) {
+  static const std::map<std::string, double> kMult = {
+      {"", 1.0},          {"B", 1.0},
+      {"kB", 1e3},        {"KB", 1e3},      {"MB", 1e6},   {"GB", 1e9},   {"TB", 1e12},
+      {"KiB", 1024.0},    {"MiB", 1048576.0}, {"GiB", 1073741824.0},
+      {"TiB", 1099511627776.0},
+  };
+  const auto it = kMult.find(suffix);
+  if (it == kMult.end()) throw ParseError("unknown size unit in '" + std::string(original) + "'");
+  return it->second;
+}
+
+}  // namespace
+
+std::uint64_t parse_bytes(std::string_view text) {
+  const auto [value, suffix] = split_value_suffix(text);
+  const double bytes = value * size_multiplier(suffix, text);
+  if (bytes < 0.0) throw ParseError("negative byte count in '" + std::string(text) + "'");
+  return static_cast<std::uint64_t>(std::llround(bytes));
+}
+
+double parse_bandwidth(std::string_view text) {
+  auto [value, suffix] = split_value_suffix(text);
+  double bits_divisor = 1.0;
+  // "...bps" with lowercase b means bits per second; "...Bps" means bytes.
+  if (suffix.size() >= 3 && suffix.compare(suffix.size() - 3, 3, "bps") == 0) {
+    bits_divisor = 8.0;
+    suffix.erase(suffix.size() - 3);
+  } else if (suffix.size() >= 3 && suffix.compare(suffix.size() - 3, 3, "Bps") == 0) {
+    suffix.erase(suffix.size() - 3);
+  } else if (!suffix.empty()) {
+    throw ParseError("bandwidth must end in bps or Bps: '" + std::string(text) + "'");
+  }
+  static const std::map<std::string, double> kPrefix = {
+      {"", 1.0}, {"k", 1e3}, {"K", 1e3}, {"M", 1e6}, {"G", 1e9}, {"T", 1e12},
+  };
+  const auto it = kPrefix.find(suffix);
+  if (it == kPrefix.end()) throw ParseError("unknown bandwidth prefix in '" + std::string(text) + "'");
+  return value * it->second / bits_divisor;
+}
+
+double parse_duration(std::string_view text) {
+  const auto [value, suffix] = split_value_suffix(text);
+  static const std::map<std::string, double> kMult = {
+      {"", 1.0}, {"s", 1.0}, {"ms", 1e-3}, {"us", 1e-6}, {"ns", 1e-9}, {"min", 60.0}, {"h", 3600.0},
+  };
+  const auto it = kMult.find(suffix);
+  if (it == kMult.end()) throw ParseError("unknown duration unit in '" + std::string(text) + "'");
+  return value * it->second;
+}
+
+namespace {
+std::string format_scaled(double value, const char* const* names, const double* scales, int n,
+                          const char* fmt) {
+  int pick = 0;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(value) >= scales[i]) pick = i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, value / scales[pick], names[pick]);
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static const char* kNames[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  static const double kScales[] = {1.0, 1024.0, 1048576.0, 1073741824.0, 1099511627776.0};
+  return format_scaled(bytes, kNames, kScales, 5, "%.1f %s");
+}
+
+std::string format_duration(double seconds) {
+  static const char* kNames[] = {"ns", "us", "ms", "s"};
+  static const double kScales[] = {1e-9, 1e-6, 1e-3, 1.0};
+  return format_scaled(seconds, kNames, kScales, 4, "%.2f %s");
+}
+
+std::string format_rate(double per_second) {
+  static const char* kNames[] = {"/s", "k/s", "M/s", "G/s", "T/s"};
+  static const double kScales[] = {1.0, 1e3, 1e6, 1e9, 1e12};
+  return format_scaled(per_second, kNames, kScales, 5, "%.2f %s");
+}
+
+}  // namespace tir::units

@@ -1,0 +1,32 @@
+// Unit parsing and formatting for byte volumes, rates, and durations.
+//
+// Platform descriptions ("10Gbps", "15us", "1MiB") and human-readable bench
+// output both go through these helpers.  Conventions follow SimGrid:
+//   - bandwidth uses decimal prefixes on *bytes* per second ("1.25GBps")
+//     or bits per second when the unit ends in "bps" without the capital B;
+//   - sizes accept binary (KiB/MiB/GiB) and decimal (kB/MB/GB) prefixes;
+//   - durations accept ns/us/ms/s.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tir::units {
+
+/// Parse a byte count: "64KiB" -> 65536, "1500" -> 1500, "1MB" -> 1e6.
+/// Throws tir::ParseError on malformed input.
+std::uint64_t parse_bytes(std::string_view text);
+
+/// Parse a bandwidth in bytes/second: "10Gbps" -> 1.25e9, "1.25GBps" -> 1.25e9.
+double parse_bandwidth(std::string_view text);
+
+/// Parse a duration in seconds: "15us" -> 1.5e-5, "2ms" -> 2e-3, "3" -> 3.
+double parse_duration(std::string_view text);
+
+/// Format helpers used by the bench table printers.
+std::string format_bytes(double bytes);       // "64.0 KiB"
+std::string format_duration(double seconds);  // "153.40 s" / "52.1 us"
+std::string format_rate(double per_second);   // "1.83 G/s"
+
+}  // namespace tir::units

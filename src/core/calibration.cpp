@@ -1,0 +1,118 @@
+#include "core/calibration.hpp"
+
+#include <numeric>
+
+#include "base/log.hpp"
+
+namespace tir::core {
+
+double calibrate_class_rate(char cls, const platform::Platform& platform,
+                            const apps::MachineModel& machine,
+                            const CalibrationSettings& settings) {
+  apps::LuConfig lu;
+  lu.cls = apps::nas_class(cls);
+  lu.nprocs = 4;  // "as few resources as four cores did not raise any issue"
+  lu.iterations_override = settings.iterations;
+
+  apps::AcquisitionConfig acq = settings.acquisition;
+  acq.emit_trace = false;
+  const apps::RunResult run = apps::run_lu(lu, platform, machine, acq);
+
+  const double instructions =
+      std::accumulate(run.counter_totals.begin(), run.counter_totals.end(), 0.0);
+  const double seconds =
+      std::accumulate(run.compute_seconds.begin(), run.compute_seconds.end(), 0.0);
+  TIR_ASSERT(instructions > 0.0);
+  TIR_ASSERT(seconds > 0.0);
+  const double rate = instructions / seconds;
+  TIR_LOG(Info, "calibration " << cls << "-4: " << rate << " instr/s");
+  return rate;
+}
+
+ClassicCalibration calibrate_classic(const platform::Platform& platform,
+                                     const apps::MachineModel& machine,
+                                     const CalibrationSettings& settings) {
+  return ClassicCalibration{calibrate_class_rate('A', platform, machine, settings)};
+}
+
+double CacheAwareCalibration::rate_for(const apps::LuConfig& instance) const {
+  // Rank 0 always owns the largest share (remainders go to low coordinates),
+  // so it decides whether "the instance handles data that fit in the cache".
+  const double ws = apps::lu_working_set_bytes(instance, 0);
+  if (ws <= l2_bytes) return rate_a4;
+  const auto it = class_rates.find(instance.cls.name);
+  if (it != class_rates.end()) return it->second;
+  return rate_a4;  // class not calibrated: fall back to classic behaviour
+}
+
+double AutoCalibration::rate_at(double working_set_bytes) const {
+  TIR_ASSERT(!ws_bytes.empty());
+  TIR_ASSERT(ws_bytes.size() == rates.size());
+  if (working_set_bytes <= ws_bytes.front()) return rates.front();
+  if (working_set_bytes >= ws_bytes.back()) return rates.back();
+  for (std::size_t i = 1; i < ws_bytes.size(); ++i) {
+    if (working_set_bytes <= ws_bytes[i]) {
+      const double frac = (working_set_bytes - ws_bytes[i - 1]) /
+                          (ws_bytes[i] - ws_bytes[i - 1]);
+      return rates[i - 1] + frac * (rates[i] - rates[i - 1]);
+    }
+  }
+  return rates.back();
+}
+
+double AutoCalibration::rate_for(const apps::LuConfig& instance) const {
+  return rate_at(apps::lu_working_set_bytes(instance, 0));
+}
+
+AutoCalibration calibrate_auto(const platform::Platform& platform,
+                               const apps::MachineModel& machine,
+                               const CalibrationSettings& settings, int steps,
+                               double probe_instructions) {
+  TIR_ASSERT(steps >= 2);
+  const double l2 = platform.host(0).l2_bytes;
+  AutoCalibration cal;
+  // Simulate one probe kernel per working-set point: a fixed instruction
+  // budget streamed over a buffer of that size, timed on the machine and
+  // counted through the pipeline's own instrumentation (so the counter
+  // perturbation enters the numerator exactly as in the other procedures).
+  hwc::Instrument instrument(settings.acquisition.granularity, settings.acquisition.compiler,
+                             settings.acquisition.probe_costs, /*noise_stream=*/0xca11b);
+  for (int i = 0; i < steps; ++i) {
+    const double frac = static_cast<double>(i) / (steps - 1);
+    const double ws = l2 * (0.25 + frac * (4.0 - 0.25));
+    sim::Engine engine(platform);
+    double seconds = 0.0;
+    engine.spawn("probe", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+      const double app = probe_instructions * settings.acquisition.compiler.instr_factor;
+      const double t0 = ctx.now();
+      co_await ctx.execute_at(app, machine.app_rate(ws) / machine.noise_factor(0, i));
+      seconds = ctx.now() - t0;
+    });
+    engine.run();
+    const hwc::RegionEffect eff =
+        instrument.process_region({probe_instructions, 0.0, 1.0});
+    // Granularity::None has no counter; fall back to the known kernel size.
+    const double measured =
+        eff.measured > 0.0 ? eff.measured
+                           : probe_instructions * settings.acquisition.compiler.instr_factor;
+    cal.ws_bytes.push_back(ws);
+    cal.rates.push_back(measured / seconds);
+    TIR_LOG(Debug, "auto-calibration ws=" << ws << " rate=" << cal.rates.back());
+  }
+  return cal;
+}
+
+CacheAwareCalibration calibrate_cache_aware(const platform::Platform& platform,
+                                            const apps::MachineModel& machine,
+                                            const CalibrationSettings& settings,
+                                            const std::string& classes) {
+  CacheAwareCalibration cal;
+  cal.rate_a4 = calibrate_class_rate('A', platform, machine, settings);
+  cal.l2_bytes = platform.host(0).l2_bytes;
+  for (const char cls : classes) {
+    cal.class_rates[cls] = calibrate_class_rate(cls, platform, machine, settings);
+  }
+  return cal;
+}
+
+}  // namespace tir::core

@@ -1,0 +1,86 @@
+// Calibration of the simulated instruction rate (paper §2.3 / §3.4).
+//
+// The replay framework needs to know how many instructions per second the
+// target machine sustains on the studied application.  Both procedures run
+// small (4-process) instances under the *acquisition pipeline's own*
+// instrumentation, then divide the measured counter values by the
+// application's compute time:
+//
+//   classic      - one run of A-4.  Cheap, but A-4's working set fits the
+//                  L2 cache, so the rate overestimates what larger classes
+//                  achieve (the paper's issue #3).
+//   cache-aware  - additionally run B-4 and C-4 to capture the out-of-cache
+//                  regime; at prediction time pick the A-4 rate when the
+//                  instance's per-process working set fits L2 and the
+//                  instance-class rate when it does not (paper §3.4).
+#pragma once
+
+#include <map>
+
+#include "apps/lu.hpp"
+#include "apps/machine.hpp"
+#include "apps/run.hpp"
+#include "platform/platform.hpp"
+
+namespace tir::core {
+
+struct CalibrationSettings {
+  apps::AcquisitionConfig acquisition;  ///< instrumentation used when calibrating
+  int iterations = 5;                   ///< SSOR iterations per calibration run
+};
+
+/// Rate measured from one 4-process run of the given class.
+double calibrate_class_rate(char cls, const platform::Platform& platform,
+                            const apps::MachineModel& machine,
+                            const CalibrationSettings& settings);
+
+/// The paper's original procedure: the A-4 rate, applied to everything.
+struct ClassicCalibration {
+  double rate_a4 = 0.0;
+  double rate_for(const apps::LuConfig&) const { return rate_a4; }
+};
+
+ClassicCalibration calibrate_classic(const platform::Platform& platform,
+                                     const apps::MachineModel& machine,
+                                     const CalibrationSettings& settings);
+
+/// The paper's improved procedure (§3.4).
+struct CacheAwareCalibration {
+  double rate_a4 = 0.0;
+  std::map<char, double> class_rates;  ///< X-4 rate per class
+  double l2_bytes = 0.0;
+
+  /// A-4 rate if the instance's working set fits L2, else the class rate.
+  double rate_for(const apps::LuConfig& instance) const;
+};
+
+/// Calibrates A-4 plus the instance classes listed in `classes`.
+CacheAwareCalibration calibrate_cache_aware(const platform::Platform& platform,
+                                            const apps::MachineModel& machine,
+                                            const CalibrationSettings& settings,
+                                            const std::string& classes = "BC");
+
+/// The paper's announced future work (§6): "improve our calibration method
+/// to automatically take cache usage into account and better estimate the
+/// instruction rate".  Instead of whole-application runs per class, a
+/// synthetic probe kernel is timed at a ladder of working-set sizes around
+/// L2; prediction interpolates the measured rate curve at the instance's
+/// own working set.  This removes the binary fits/spills decision that
+/// makes marginal instances (B-8 on bordereau) overshoot.
+struct AutoCalibration {
+  std::vector<double> ws_bytes;   ///< probe working sets, ascending
+  std::vector<double> rates;      ///< measured instr/s at each working set
+
+  /// Piecewise-linear interpolation of the rate curve (clamped at the ends).
+  double rate_at(double working_set_bytes) const;
+  double rate_for(const apps::LuConfig& instance) const;
+};
+
+/// Probe the machine at `steps` working-set sizes spanning
+/// [0.25, 4] x L2. `probe_instructions` is the kernel size per sample.
+AutoCalibration calibrate_auto(const platform::Platform& platform,
+                               const apps::MachineModel& machine,
+                               const CalibrationSettings& settings, int steps = 9,
+                               double probe_instructions = 2e9);
+
+}  // namespace tir::core

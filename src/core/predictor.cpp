@@ -1,0 +1,86 @@
+#include "core/predictor.hpp"
+
+#include "base/log.hpp"
+#include "base/stats.hpp"
+
+namespace tir::core {
+
+apps::AcquisitionConfig acquisition_for(const PipelineSettings& settings) {
+  apps::AcquisitionConfig acq;
+  if (settings.framework == Framework::Original) {
+    acq.granularity = hwc::Granularity::Fine;
+    acq.compiler = hwc::kO0;
+  } else {
+    acq.granularity = hwc::Granularity::Minimal;
+    acq.compiler = hwc::kO3;
+  }
+  acq.noise = settings.noise;
+  acq.seed = settings.seed;
+  acq.sharing = settings.sharing;
+  acq.probe_costs = settings.probe_costs;
+  return acq;
+}
+
+Prediction predict_lu(const apps::LuConfig& instance, const platform::Platform& platform,
+                      const platform::ClusterCalibrationTruth& truth,
+                      const PipelineSettings& settings) {
+  apps::LuConfig lu = instance;
+  if (lu.iterations_override <= 0) lu.iterations_override = settings.iterations;
+  const apps::MachineModel machine(truth, settings.noise, settings.seed);
+
+  // 1. Ground truth: the original, uninstrumented execution.
+  apps::AcquisitionConfig orig = acquisition_for(settings);
+  orig.granularity = hwc::Granularity::None;
+  orig.emit_trace = false;
+  const apps::RunResult real = apps::run_lu(lu, platform, machine, orig);
+
+  // 2. Acquisition: the instrumented execution that yields the trace.
+  apps::AcquisitionConfig acq = acquisition_for(settings);
+  acq.emit_trace = true;
+  const apps::RunResult traced = apps::run_lu(lu, platform, machine, acq);
+
+  // 3. Calibration, with the pipeline's own instrumentation settings.
+  CalibrationSettings cal_settings;
+  cal_settings.acquisition = acquisition_for(settings);
+  cal_settings.iterations = settings.calibration_iterations;
+
+  Prediction out;
+  const bool classic = settings.framework == Framework::Original ||
+                       settings.force_classic_calibration;
+  if (settings.use_auto_calibration && !classic) {
+    out.calibrated_rate = calibrate_auto(platform, machine, cal_settings).rate_for(lu);
+  } else if (classic) {
+    out.calibrated_rate = calibrate_classic(platform, machine, cal_settings).rate_for(lu);
+  } else {
+    const std::string classes(1, lu.cls.name);
+    out.calibrated_rate =
+        calibrate_cache_aware(platform, machine, cal_settings, classes).rate_for(lu);
+  }
+
+  // 4. Replay.
+  ReplayConfig replay_cfg;
+  replay_cfg.rates = {out.calibrated_rate};
+  replay_cfg.sharing = settings.sharing;
+  if (settings.framework == Framework::Original) {
+    out.replay = replay_msg(traced.trace, platform, replay_cfg);
+  } else {
+    replay_cfg.mpi.piecewise =
+        settings.force_identity_piecewise ? smpi::PiecewiseModel() : smpi::reference_piecewise();
+    replay_cfg.mpi.model_copy_time = settings.replay_models_copy_time;
+    replay_cfg.mpi.copy_rate = truth.copy_rate;
+    out.replay = replay_smpi(traced.trace, platform, replay_cfg);
+  }
+
+  out.real_seconds = real.wall_time;
+  out.acquisition_seconds = traced.wall_time;
+  out.predicted_seconds = out.replay.simulated_time;
+  out.error_pct = stats::relative_error_pct(out.predicted_seconds, out.real_seconds);
+  out.overhead_pct = stats::relative_error_pct(out.acquisition_seconds, out.real_seconds);
+  out.trace_stats = tit::stats(traced.trace);
+  TIR_LOG(Info, instance.label() << ": real=" << out.real_seconds
+                                 << "s predicted=" << out.predicted_seconds
+                                 << "s err=" << out.error_pct << "%");
+  return out;
+}
+
+}  // namespace tir::core

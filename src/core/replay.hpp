@@ -1,0 +1,62 @@
+// Time-Independent Trace replay engines.
+//
+// Two back-ends, matching the paper's before/after:
+//
+//   replay_msg  - the FIRST implementation ([5], paper §2.4/§3.3): built on
+//                 the MSG-style CSP layer.  Small (<64 KiB) sends become
+//                 fire-and-forget isends into a "<src>_<dst>" mailbox, large
+//                 sends block; either way the transfer starts only at match
+//                 time, the network model has no piecewise corrections, and
+//                 collectives are monolithic analytic delays.
+//
+//   replay_smpi - the NEW implementation (paper §3.3): actions are handed to
+//                 the simulated MPI runtime, inheriting the detached eager
+//                 mode, the rendezvous protocol, the piecewise-linear
+//                 network model and point-to-point collective algorithms.
+//                 This is the `smpi_replay` program of the paper: load the
+//                 trace, run the actions, report the simulated time.
+//
+// Both engines price `compute` actions at a calibrated instruction rate
+// (see calibration.hpp) rather than the platform's nominal speed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+#include "smpi/config.hpp"
+#include "tit/trace.hpp"
+
+namespace tir::core {
+
+struct ReplayConfig {
+  /// Calibrated instruction rate (instr/s); one entry = uniform, or one per
+  /// rank for heterogeneous acquisitions.
+  std::vector<double> rates = {1e9};
+  sim::Sharing sharing = sim::Sharing::Uncontended;
+  /// New back-end only: the SMPI protocol/network model.
+  smpi::Config mpi{};
+
+  double rate_for(int rank) const {
+    TIR_ASSERT(!rates.empty());
+    return rates.size() == 1 ? rates[0] : rates.at(static_cast<std::size_t>(rank));
+  }
+};
+
+struct ReplayResult {
+  double simulated_time = 0.0;       ///< the prediction (seconds)
+  std::uint64_t actions_replayed = 0;
+  std::uint64_t engine_steps = 0;
+  double wall_clock_seconds = 0.0;   ///< replay efficiency (host time)
+};
+
+/// New SMPI-based replay (the paper's improved framework).
+ReplayResult replay_smpi(const tit::Trace& trace, const platform::Platform& platform,
+                         const ReplayConfig& config);
+
+/// Old MSG-based replay (the paper's first prototype, kept as the baseline).
+ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platform,
+                        const ReplayConfig& config);
+
+}  // namespace tir::core

@@ -1,0 +1,178 @@
+// The old replay engine: the paper's first prototype, reproduced as the
+// experimental baseline.  Its three known sins (paper §2.4, §3.3):
+//
+//   1. `send` of a sub-64 KiB message maps to a fire-and-forget isend into
+//      mailbox "<src>_<dst>", but MSG semantics start the transfer only
+//      when the receiver matches - so the receiver pays full latency +
+//      transfer time on its own critical path for every small message,
+//      which real eager mode overlaps.  The per-message inaccuracy
+//      accumulates linearly with the number of messages, hence with the
+//      process count (Figure 3's linear error growth).
+//   2. No piecewise-linear protocol corrections: raw link parameters.
+//   3. Collectives are monolithic analytic delays (synchronize, then sleep
+//      a closed-form estimate) instead of point-to-point algorithms.
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "core/replay.hpp"
+#include "msg/msg.hpp"
+
+namespace tir::core {
+
+namespace {
+
+/// 64 KiB, as hard-coded in the paper's old action_send.
+constexpr double kSmallMessage = 65536.0;
+
+/// Closed-form collective estimates of the old back-end: log2(n) stages of
+/// (latency + volume/bandwidth) for tree-shaped operations, (n-1) stages
+/// for all-to-all style ones.
+struct MonolithicModel {
+  double latency = 0.0;    ///< end-to-end latency between two hosts
+  double bandwidth = 0.0;  ///< bottleneck bandwidth of one path
+
+  double stage(double bytes) const { return latency + bytes / bandwidth; }
+  double tree(int n, double bytes) const {
+    return std::ceil(std::log2(std::max(n, 2))) * stage(bytes);
+  }
+};
+
+struct OldReplayShared {
+  msg::Mailboxes mailboxes;
+  std::vector<std::unique_ptr<msg::Rendezvous>> sync;  // one slot per collective site
+  MonolithicModel model;
+  int nprocs;
+
+  OldReplayShared(sim::Engine& engine, int n) : mailboxes(engine), nprocs(n) {}
+
+  /// All collectives reuse one global rendezvous (ranks hit collectives in
+  /// the same order, as MPI requires).
+  msg::Rendezvous& rendezvous(sim::Engine& engine) {
+    if (sync.empty()) sync.push_back(std::make_unique<msg::Rendezvous>(engine, nprocs));
+    return *sync.front();
+  }
+};
+
+std::string box_name(int src, int dst) {
+  return std::to_string(src) + "_" + std::to_string(dst);
+}
+
+/// Synchronize everyone, then charge the analytic collective delay.
+sim::Coro monolithic(sim::Ctx& ctx, OldReplayShared& shared, double delay) {
+  co_await shared.rendezvous(ctx.engine()).arrive_and_wait(ctx);
+  if (delay > 0.0) co_await ctx.sleep(delay);
+}
+
+sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, const tit::Trace& trace,
+                          OldReplayShared& shared, const ReplayConfig& config,
+                          std::uint64_t& actions) {
+  const double rate = config.rate_for(me);
+  const int n = shared.nprocs;
+  std::deque<msg::Request> outstanding;
+  for (const tit::Action& a : trace.actions(me)) {
+    ++actions;
+    switch (a.type) {
+      case tit::ActionType::Init:
+      case tit::ActionType::Finalize:
+        break;
+      case tit::ActionType::Compute:
+        co_await ctx.execute_at(a.volume, rate);
+        break;
+      case tit::ActionType::Send:
+        // The paper's old action_send: async below 64 KiB, blocking above.
+        if (a.volume < kSmallMessage) {
+          shared.mailboxes.isend(ctx, box_name(me, a.partner), a.volume);
+        } else {
+          co_await shared.mailboxes.send(ctx, box_name(me, a.partner), a.volume);
+        }
+        break;
+      case tit::ActionType::Isend:
+        outstanding.push_back(shared.mailboxes.isend(ctx, box_name(me, a.partner), a.volume));
+        break;
+      case tit::ActionType::Recv:
+      case tit::ActionType::Irecv:
+        // The old framework had no true nonblocking receive; irecv degraded
+        // to a blocking mailbox read (one of its crude simplifications).
+        co_await shared.mailboxes.recv(ctx, box_name(a.partner, me));
+        break;
+      case tit::ActionType::Wait:
+        if (!outstanding.empty()) {
+          msg::Request r = std::move(outstanding.front());
+          outstanding.pop_front();
+          co_await ctx.wait(std::move(r));
+        }
+        break;
+      case tit::ActionType::WaitAll:
+        while (!outstanding.empty()) {
+          msg::Request r = std::move(outstanding.front());
+          outstanding.pop_front();
+          co_await ctx.wait(std::move(r));
+        }
+        break;
+      case tit::ActionType::Barrier:
+        co_await monolithic(ctx, shared, shared.model.stage(1.0));
+        break;
+      case tit::ActionType::Bcast:
+        co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
+        break;
+      case tit::ActionType::Reduce:
+        co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
+        co_await ctx.execute_at(std::max(a.volume2, 1.0), rate);
+        break;
+      case tit::ActionType::AllReduce:
+        co_await monolithic(ctx, shared, 2.0 * shared.model.tree(n, a.volume));
+        co_await ctx.execute_at(std::max(a.volume2, 1.0), rate);
+        break;
+      case tit::ActionType::AllToAll:
+        co_await monolithic(ctx, shared, (n - 1) * shared.model.stage(a.volume));
+        break;
+      case tit::ActionType::AllGather:
+        co_await monolithic(ctx, shared, (n - 1) * shared.model.stage(a.volume));
+        break;
+      case tit::ActionType::Gather:
+      case tit::ActionType::Scatter:
+        co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platform,
+                        const ReplayConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::Engine engine(platform, sim::EngineConfig{config.sharing});
+  OldReplayShared shared(engine, trace.nprocs());
+
+  // Analytic model parameters from a representative host pair.
+  if (platform.host_count() >= 2) {
+    const platform::Route r = platform.route(0, 1);
+    shared.model.latency = r.latency;
+    double bw = 1e300;
+    for (const platform::LinkId l : r.links) bw = std::min(bw, platform.link(l).bandwidth);
+    shared.model.bandwidth = bw;
+  } else {
+    shared.model.latency = platform.loopback_latency();
+    shared.model.bandwidth = platform.loopback_bandwidth();
+  }
+
+  ReplayResult result;
+  for (int r = 0; r < trace.nprocs(); ++r) {
+    const platform::HostId host =
+        static_cast<platform::HostId>(r % static_cast<int>(platform.host_count()));
+    engine.spawn("rank" + std::to_string(r), host, 0, [&, r](sim::Ctx& ctx) -> sim::Coro {
+      return replay_rank_msg(ctx, r, trace, shared, config, result.actions_replayed);
+    });
+  }
+  engine.run();
+  result.simulated_time = engine.now();
+  result.engine_steps = engine.steps();
+  result.wall_clock_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace tir::core

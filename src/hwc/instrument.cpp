@@ -1,0 +1,101 @@
+#include "hwc/instrument.hpp"
+
+namespace tir::hwc {
+
+const char* granularity_name(Granularity g) {
+  switch (g) {
+    case Granularity::None: return "none";
+    case Granularity::Coarse: return "coarse";
+    case Granularity::Fine: return "fine";
+    case Granularity::Minimal: return "minimal";
+  }
+  return "?";
+}
+
+Instrument::Instrument(Granularity granularity, CompilerModel compiler, ProbeCosts costs,
+                       std::uint64_t noise_stream)
+    : granularity_(granularity),
+      compiler_(compiler),
+      costs_(costs),
+      noise_stream_(rng::combine(noise_stream, 0x5ca1ab1eULL)) {}
+
+double Instrument::record(double bytes) {
+  buffer_fill_ += bytes;
+  double stall = 0.0;
+  while (buffer_fill_ >= costs_.buffer_bytes) {
+    buffer_fill_ -= costs_.buffer_bytes;
+    stall += costs_.flush_seconds;
+  }
+  stall_total_ += stall;
+  return stall;
+}
+
+RegionEffect Instrument::process_region(const Region& region) {
+  const double app = region.app_instructions * compiler_.instr_factor;
+  const double calls = region.calls * compiler_.call_factor;
+  // Sub-percent counter jitter: real PAPI readings of the same region vary
+  // run to run (interrupts, speculation).  Deterministic per region.
+  const double jitter = 1.0 + 2e-3 * rng::uniform_pm1(noise_stream_, region_index_++);
+
+  RegionEffect e;
+  switch (granularity_) {
+    case Granularity::None:
+      e.executed = app;
+      e.measured = 0.0;  // no counter in the original run
+      break;
+    case Granularity::Coarse:
+      // Counter read at section begin/end only: the reference measurement.
+      e.executed = app;
+      e.measured = app * jitter;
+      break;
+    case Granularity::Fine: {
+      // Every function call is probed and every probe instruction executes
+      // between the region's counter reads, so the counter sees them all -
+      // including the leaking slice of the adjacent MPI boundary probes.
+      const double probes = calls * costs_.fine_instr_per_call +
+                            region.mpi_boundaries * costs_.mpi_leak_instr;
+      e.executed = app + probes;
+      e.measured = (app + probes) * jitter;
+      e.stall_seconds = record(calls * costs_.fine_record_bytes);
+      break;
+    }
+    case Granularity::Minimal: {
+      // Probes only fire around MPI calls; the slice of each boundary probe
+      // that runs after (before) the counter read leaks into the region.
+      const double leak = region.mpi_boundaries * costs_.mpi_leak_instr;
+      e.executed = app + leak;
+      e.measured = (app + leak) * jitter;
+      break;
+    }
+  }
+  counter_total_ += e.measured;
+  overhead_instructions_ += e.executed - app;
+  return e;
+}
+
+CallEffect Instrument::process_mpi_call() {
+  CallEffect e;
+  switch (granularity_) {
+    case Granularity::None:
+    case Granularity::Coarse:
+      break;
+    case Granularity::Fine:
+      // The MPI wrapper is a probed function too, plus the event record.
+      // The leaking slice is accounted (and executed) by the neighbouring
+      // region, so only the remainder is charged here.
+      e.executed = costs_.mpi_probe_instr - costs_.mpi_leak_instr +
+                   costs_.fine_instr_per_call;
+      e.stall_seconds = record(costs_.mpi_record_bytes + costs_.fine_record_bytes);
+      break;
+    case Granularity::Minimal:
+      // Only the MPI boundary probe remains; the leak part was accounted to
+      // the neighbouring region, the rest runs outside the counter window.
+      e.executed = costs_.mpi_probe_instr - costs_.mpi_leak_instr;
+      e.stall_seconds = record(costs_.mpi_record_bytes);
+      break;
+  }
+  overhead_instructions_ += e.executed;
+  return e;
+}
+
+}  // namespace tir::hwc

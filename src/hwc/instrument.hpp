@@ -1,0 +1,123 @@
+// Instrumentation and hardware-counter model (TAU/PDT/PAPI stand-in).
+//
+// The paper's acquisition side traces an MPI application with TAU and reads
+// the "instructions executed" hardware counter between MPI calls.  Probes
+// are real code: they execute instructions (which the counter *also* counts
+// when they run between two counter reads), take time, and append records to
+// a trace buffer that periodically flushes to disk.  This model reproduces
+// those mechanics for three granularities:
+//
+//   Fine    - TAU's default: every application function entry/exit is
+//             probed and the full call path is maintained (paper §2.1).
+//             All probe instructions land inside measured regions, which is
+//             why fine-grain counts exceed coarse-grain ones by 10-16%
+//             (paper Figs. 1-2).
+//   Coarse  - a counter read at the begin/end of the studied section only:
+//             the reference measurement (negligible perturbation).
+//   Minimal - the paper's fix (§3.2): a PDT exclude-everything file leaves
+//             probes only around MPI calls.  A small slice of each probe
+//             ("leak") still executes inside the measured window.
+//   None    - the uninstrumented original run.
+//
+// The compiler model captures what -O3 does to the lever arms: fewer
+// application instructions and far fewer *function calls* (inlining), hence
+// fewer fine-grain probes (paper §3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+
+namespace tir::hwc {
+
+enum class Granularity : std::uint8_t { None, Coarse, Fine, Minimal };
+
+const char* granularity_name(Granularity g);
+
+/// Effect of the optimization level on application code.
+struct CompilerModel {
+  double instr_factor = 1.0;  ///< scales application instruction volume
+  double call_factor = 1.0;   ///< scales function-call count (inlining)
+  const char* name = "-O0";
+};
+
+constexpr CompilerModel kO0{1.0, 1.0, "-O0"};
+constexpr CompilerModel kO3{0.78, 0.32, "-O3"};
+
+/// Cost constants of the tracing machinery. Values are per-event
+/// instruction budgets of TAU-class tools (hundreds of instructions per
+/// probe; tens of bytes per record).
+struct ProbeCosts {
+  double fine_instr_per_call = 500.0;   ///< enter+exit pair incl. call-path upkeep
+  double fine_record_bytes = 52.0;      ///< per function-call event record
+  double mpi_probe_instr = 11000.0;     ///< probe pair around one MPI call
+                                        ///< (two PAPI reads at ~1.5 us each,
+                                        ///< timers, bookkeeping)
+  double mpi_leak_instr = 6000.0;       ///< slice of it counted inside the
+                                        ///< adjacent measured region
+  double mpi_record_bytes = 64.0;       ///< per MPI event record
+  double coarse_read_instr = 150.0;     ///< one counter read
+  double buffer_bytes = 4.0 * (1 << 20);///< trace buffer; full -> flush
+  double flush_seconds = 0.005;         ///< stall per flush
+};
+
+/// A compute region between two MPI calls, described at -O0 /
+/// uninstrumented level (the application model supplies these).
+struct Region {
+  double app_instructions = 0.0;  ///< useful work
+  double calls = 0.0;             ///< function calls executed inside
+  double mpi_boundaries = 1.0;    ///< MPI probes whose leak lands here
+};
+
+/// What the instrumented execution of a region amounts to.
+struct RegionEffect {
+  double executed = 0.0;       ///< instructions actually run (app + probes)
+  double measured = 0.0;       ///< what the hardware counter reports
+  double stall_seconds = 0.0;  ///< trace-buffer flush stalls
+};
+
+/// What surrounding one MPI call with probes costs.
+struct CallEffect {
+  double executed = 0.0;       ///< probe instructions around the call
+  double stall_seconds = 0.0;
+};
+
+/// Per-process instrumentation state: counter accumulation + trace buffer.
+class Instrument {
+ public:
+  Instrument(Granularity granularity, CompilerModel compiler, ProbeCosts costs = {},
+             std::uint64_t noise_stream = 0);
+
+  Granularity granularity() const { return granularity_; }
+  const CompilerModel& compiler() const { return compiler_; }
+
+  /// Account one compute region. Noise (sub-percent counter jitter) is
+  /// deterministic per (noise_stream, region index).
+  RegionEffect process_region(const Region& region);
+
+  /// Account one MPI call boundary.
+  CallEffect process_mpi_call();
+
+  /// Counter total so far (what "the measured number of instructions per
+  /// process" means in the paper's Figs. 1/2/4/5).
+  double counter_total() const { return counter_total_; }
+
+  /// Total probe work and stalls so far (acquisition-time overhead).
+  double overhead_instructions() const { return overhead_instructions_; }
+  double stall_seconds_total() const { return stall_total_; }
+
+ private:
+  double record(double bytes);  ///< returns stall seconds if a flush happened
+
+  Granularity granularity_;
+  CompilerModel compiler_;
+  ProbeCosts costs_;
+  std::uint64_t noise_stream_;
+  std::uint64_t region_index_ = 0;
+  double counter_total_ = 0.0;
+  double overhead_instructions_ = 0.0;
+  double stall_total_ = 0.0;
+  double buffer_fill_ = 0.0;
+};
+
+}  // namespace tir::hwc

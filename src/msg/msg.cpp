@@ -1,0 +1,72 @@
+#include "msg/msg.hpp"
+
+namespace tir::msg {
+
+sim::ActivityPtr Mailboxes::match(const Put& put, platform::HostId dst_host) {
+  sim::ActivityPtr comm = engine_.make_comm(put.src_host, dst_host, put.bytes);
+  engine_.chain(comm, put.done);
+  return comm;
+}
+
+sim::Coro Mailboxes::send(sim::Ctx& ctx, const std::string& mailbox, double bytes) {
+  const Request done = isend(ctx, mailbox, bytes);
+  co_await ctx.wait(done);
+}
+
+Request Mailboxes::isend(sim::Ctx& ctx, const std::string& mailbox, double bytes) {
+  Box& box = boxes_[mailbox];
+  Put put{ctx.host(), bytes, engine_.make_gate()};
+  if (!box.gets.empty()) {
+    Get* get = box.gets.front();
+    box.gets.pop_front();
+    get->comm = match(put, get->dst_host);
+    get->bytes = bytes;
+    engine_.complete_now(get->matched);
+  } else {
+    box.puts.push_back(put);
+  }
+  return put.done;
+}
+
+sim::Coro Mailboxes::recv(sim::Ctx& ctx, const std::string& mailbox, double* bytes_out) {
+  Box& box = boxes_[mailbox];
+  if (!box.puts.empty()) {
+    const Put put = box.puts.front();
+    box.puts.pop_front();
+    const sim::ActivityPtr comm = match(put, ctx.host());
+    if (bytes_out != nullptr) *bytes_out = put.bytes;
+    co_await ctx.wait(comm);
+    co_return;
+  }
+  Get get;
+  get.dst_host = ctx.host();
+  get.matched = engine_.make_gate();
+  box.gets.push_back(&get);
+  co_await ctx.wait(get.matched);
+  if (bytes_out != nullptr) *bytes_out = get.bytes;
+  co_await ctx.wait(get.comm);
+}
+
+std::size_t Mailboxes::backlog(const std::string& mailbox) const {
+  const auto it = boxes_.find(mailbox);
+  return it == boxes_.end() ? 0 : it->second.puts.size();
+}
+
+Rendezvous::Rendezvous(sim::Engine& engine, int parties)
+    : engine_(engine), parties_(parties), gate_(engine.make_gate()) {
+  TIR_ASSERT(parties >= 1);
+}
+
+sim::Coro Rendezvous::arrive_and_wait(sim::Ctx& ctx) {
+  ++arrived_;
+  if (arrived_ == parties_) {
+    arrived_ = 0;
+    const sim::ActivityPtr current = gate_;
+    gate_ = engine_.make_gate();  // re-arm before waking the cohort
+    engine_.complete_now(current);
+    co_return;
+  }
+  co_await ctx.wait(gate_);
+}
+
+}  // namespace tir::msg

@@ -1,0 +1,89 @@
+// MSG-like CSP communication layer (the *old* replay back-end's substrate).
+//
+// Reproduces the semantics of SimGrid's MSG API that the paper's first
+// implementation was built on (§3.3):
+//   - tasks are sent to named mailboxes;
+//   - the network transfer STARTS ONLY WHEN SENDER AND RECEIVER HAVE
+//     MATCHED, regardless of message size.  This is the crucial difference
+//     from real MPI eager mode (where data moves as soon as the sender
+//     posts) and the mechanistic source of the old framework's growing
+//     overestimation of communication time (paper Fig. 3);
+//   - task_isend queues the task and returns immediately, but the transfer
+//     still begins at match time;
+//   - no piecewise-linear protocol corrections: raw link latency/bandwidth.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+
+namespace tir::msg {
+
+/// The detached-send request handle: a gate completed when the transfer
+/// finishes. Await it with ctx.wait(request).
+using Request = sim::ActivityPtr;
+
+class Mailboxes {
+ public:
+  explicit Mailboxes(sim::Engine& engine) : engine_(engine) {}
+
+  Mailboxes(const Mailboxes&) = delete;
+  Mailboxes& operator=(const Mailboxes&) = delete;
+
+  /// Blocking send: returns when the matched transfer has completed.
+  sim::Coro send(sim::Ctx& ctx, const std::string& mailbox, double bytes);
+
+  /// Fire-and-forget send: queues the task, returns a Request completed when
+  /// the (match-started) transfer ends.
+  Request isend(sim::Ctx& ctx, const std::string& mailbox, double bytes);
+
+  /// Blocking receive: matches the oldest queued task (or waits for one),
+  /// then waits for the transfer. Returns the task size in bytes.
+  sim::Coro recv(sim::Ctx& ctx, const std::string& mailbox, double* bytes_out = nullptr);
+
+  /// Number of tasks currently queued (sent but unmatched).
+  std::size_t backlog(const std::string& mailbox) const;
+
+ private:
+  struct Put {
+    platform::HostId src_host;
+    double bytes;
+    Request done;  ///< gate chained to the transfer
+  };
+  struct Get {
+    platform::HostId dst_host;
+    sim::ActivityPtr matched;     ///< gate completed at match time
+    sim::ActivityPtr comm;        ///< filled at match
+    double bytes = 0.0;
+  };
+  struct Box {
+    std::deque<Put> puts;
+    std::deque<Get*> gets;
+  };
+
+  /// Create and start the transfer for a matched (put, get) pair.
+  sim::ActivityPtr match(const Put& put, platform::HostId dst_host);
+
+  sim::Engine& engine_;
+  std::unordered_map<std::string, Box> boxes_;
+};
+
+/// Reusable N-party synchronization: everyone blocks until all have arrived.
+/// The old back-end's monolithic collective models are built on this.
+class Rendezvous {
+ public:
+  Rendezvous(sim::Engine& engine, int parties);
+
+  /// Returns (for everyone) once all `parties` actors have arrived.
+  sim::Coro arrive_and_wait(sim::Ctx& ctx);
+
+ private:
+  sim::Engine& engine_;
+  int parties_;
+  int arrived_ = 0;
+  sim::ActivityPtr gate_;
+};
+
+}  // namespace tir::msg

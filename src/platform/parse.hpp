@@ -1,0 +1,41 @@
+// Plain-text platform description format.
+//
+// The paper's tool consumes a SimGrid platform.xml; ours consumes an
+// equivalent line-oriented format (one entity per line, key=value fields):
+//
+//   # comment
+//   loopback bw=8GBps lat=200ns
+//   switch root
+//   switch cab0 parent=root bw=10Gbps lat=2us
+//   host n0 switch=cab0 cores=4 speed=2.5e9 l2=1MiB bw=1Gbps lat=40us
+//   cluster prefix=node nodes=16 cores=4 speed=2e9 l2=1MiB bw=1Gbps
+//           lat=50us cabinets=2 uplink_bw=10Gbps uplink_lat=2us   (one line)
+//   link l0 bw=10Gbps lat=1us
+//   route n0 n1 links=l0
+//
+// `cluster` with cabinets=1 (default) builds a flat single-switch cluster.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "platform/platform.hpp"
+
+namespace tir::platform {
+
+/// Parse a platform description; throws tir::ParseError with line context.
+Platform parse_platform(std::istream& in);
+
+/// Convenience: parse from a string.
+Platform parse_platform_string(const std::string& text);
+
+/// Load from a file; throws tir::Error if unreadable.
+Platform load_platform(const std::string& path);
+
+/// Serialize a platform back to the text format (explicit switch/host
+/// entries; parse_platform(write_platform(p)) reproduces the topology).
+/// Useful to dump the built-in cluster models as editable starting points.
+void write_platform(const Platform& p, std::ostream& out);
+std::string write_platform_string(const Platform& p);
+
+}  // namespace tir::platform

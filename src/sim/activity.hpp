@@ -1,0 +1,75 @@
+// Activities: the units of simulated work.
+//
+// An Activity is something that consumes simulated time: an execution (a
+// number of instructions on a core), a communication (latency followed by a
+// byte transfer across a route), a timer, or a gate (a pure synchronization
+// token completed explicitly, used for e.g. mailbox matching).
+//
+// Activities are shared (std::shared_ptr) because several parties may hold
+// one: a communication is typically referenced by its sender, its receiver,
+// and the engine's running set.  At most a handful of waiters register on an
+// activity; they are resumed in registration order when it completes.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace tir::sim {
+
+using SimTime = double;
+
+class Engine;
+struct Activity;
+using ActivityPtr = std::shared_ptr<Activity>;
+
+/// Shared state of a wait-any group: first completed member wins.
+struct WaitAnyState {
+  std::coroutine_handle<> waiter;
+  int completed_index = -1;  ///< index within the wait set, -1 while pending
+};
+
+/// A registered waiter: a plain coroutine, a wait-any membership, or a gate
+/// to complete in turn (request objects chain onto the comm they track).
+struct Waiter {
+  std::coroutine_handle<> handle;       ///< set for plain waits
+  std::shared_ptr<WaitAnyState> any;    ///< set for wait-any members
+  int any_index = -1;                   ///< this activity's index in the set
+  ActivityPtr chain;                    ///< gate completed when this one is
+};
+
+struct Activity {
+  enum class Kind : std::uint8_t { Exec, Comm, Timer, Gate };
+  enum class State : std::uint8_t { Pending, Running, Done };
+
+  Kind kind = Kind::Gate;
+  State state = State::Pending;
+  std::uint64_t seq = 0;      ///< creation sequence (debugging/determinism)
+  std::int32_t run_slot = -1; ///< index in the engine's running set, -1 if absent
+
+  // Exec fields.
+  std::int32_t core_index = -1;   ///< flattened (host, core) slot
+  double nominal_rate = 0.0;      ///< instructions/s when alone on the core
+
+  // Comm fields.
+  const platform::Route* route = nullptr;  ///< nullptr for loopback
+  double latency_left = 0.0;               ///< seconds of latency still to pay
+  double bw_bound = 0.0;                   ///< per-flow rate cap (bytes/s)
+
+  // Timer fields.
+  SimTime deadline = 0.0;
+
+  // Shared progress state.
+  double remaining = 0.0;  ///< instructions or bytes left
+  double rate = 0.0;       ///< current assigned rate (set each engine step)
+
+  std::vector<Waiter> waiters;
+
+  bool done() const { return state == State::Done; }
+  bool in_latency_phase() const { return kind == Kind::Comm && latency_left > 0.0; }
+};
+
+}  // namespace tir::sim

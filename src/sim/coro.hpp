@@ -1,0 +1,95 @@
+// Coroutine plumbing for simulated actors.
+//
+// Every simulated process body is a C++20 coroutine returning sim::Coro.
+// A Coro can be used in two positions:
+//   - top level: the Engine owns the handle and resumes it from the event
+//     loop (initial_suspend is suspend_always, so spawn() is lazy);
+//   - nested: `co_await helper(ctx)` runs a sub-coroutine to completion with
+//     symmetric transfer back to the caller, so simulated code can be
+//     decomposed into ordinary functions that themselves await activities.
+//
+// Exceptions thrown inside a coroutine propagate: nested coros rethrow into
+// their awaiter; a top-level actor's exception is captured by the Engine and
+// rethrown from Engine::run().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace tir::sim {
+
+class Engine;
+
+class [[nodiscard]] Coro {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;  ///< awaiting coroutine (nested use)
+    Engine* engine = nullptr;              ///< set for top-level actors
+    int actor_index = -1;
+    std::exception_ptr exception;
+
+    Coro get_return_object() { return Coro{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept;
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Coro() = default;
+  explicit Coro(Handle h) : handle_(h) {}
+  Coro(Coro&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Coro& operator=(Coro&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() { destroy(); }
+
+  Handle handle() const { return handle_; }
+  Handle release() { return std::exchange(handle_, {}); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// Awaiting a Coro starts it and suspends the caller until it finishes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) noexcept {
+        child.promise().continuation = caller;
+        return child;  // symmetric transfer: run the child now
+      }
+      void await_resume() const {
+        if (child && child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace tir::sim

@@ -1,0 +1,363 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/log.hpp"
+
+namespace tir::sim {
+
+namespace {
+constexpr double kWorkEps = 1e-6;   // residual instructions/bytes that count as done
+constexpr double kTimeEps = 1e-12;  // relative time comparison slack
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::uint64_t pair_key(platform::HostId a, platform::HostId b) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+}  // namespace
+
+std::coroutine_handle<> Coro::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
+  promise_type& p = h.promise();
+  if (p.continuation) return p.continuation;
+  if (p.engine != nullptr) p.engine->on_actor_done(p.actor_index, p.exception);
+  return std::noop_coroutine();
+}
+
+struct Engine::ActorRec {
+  ActorRec(Engine& engine, int index, std::string name, platform::HostId host, int core)
+      : ctx(engine, index, std::move(name), host, core) {}
+  Ctx ctx;
+  // The callable must outlive the coroutine: a coroutine lambda's captures
+  // live in the closure object, which the frame references (it does not copy
+  // them).  Keeping `fn` here for the actor's whole lifetime makes capturing
+  // lambdas safe to spawn.
+  ActorFn fn;
+  Coro coro;
+  bool done = false;
+};
+
+Engine::Engine(const platform::Platform& platform, EngineConfig config)
+    : platform_(platform), config_(config) {
+  host_core_offset_.resize(platform.host_count() + 1, 0);
+  int total = 0;
+  for (std::size_t h = 0; h < platform.host_count(); ++h) {
+    host_core_offset_[h] = total;
+    total += platform.host(static_cast<platform::HostId>(h)).cores;
+  }
+  host_core_offset_[platform.host_count()] = total;
+  core_load_.assign(static_cast<std::size_t>(total), 0);
+  solver_.reset_links(platform.links());
+}
+
+Engine::~Engine() = default;
+
+int Engine::spawn(std::string name, platform::HostId host, int core, ActorFn fn) {
+  TIR_ASSERT(core >= 0 && core < platform_.host(host).cores);
+  const int index = static_cast<int>(actors_.size());
+  actors_.push_back(std::make_unique<ActorRec>(*this, index, std::move(name), host, core));
+  ActorRec& rec = *actors_.back();
+  rec.fn = std::move(fn);
+  rec.coro = rec.fn(rec.ctx);
+  TIR_ASSERT(rec.coro.handle());
+  rec.coro.handle().promise().engine = this;
+  rec.coro.handle().promise().actor_index = index;
+  ++alive_actors_;
+  ready_.push_back(rec.coro.handle());
+  return index;
+}
+
+Ctx& Engine::ctx(int actor_index) {
+  TIR_ASSERT(actor_index >= 0 && static_cast<std::size_t>(actor_index) < actors_.size());
+  return actors_[static_cast<std::size_t>(actor_index)]->ctx;
+}
+
+void Engine::on_actor_done(int actor_index, std::exception_ptr exception) {
+  TIR_ASSERT(actor_index >= 0 && static_cast<std::size_t>(actor_index) < actors_.size());
+  ActorRec& rec = *actors_[static_cast<std::size_t>(actor_index)];
+  TIR_ASSERT(!rec.done);
+  rec.done = true;
+  --alive_actors_;
+  if (exception && !first_error_) first_error_ = exception;
+}
+
+void Engine::run() {
+  TIR_ASSERT(!running_loop_);
+  running_loop_ = true;
+  while (true) {
+    drain_ready();
+    if (first_error_) break;
+    if (running_.empty()) {
+      if (alive_actors_ > 0) report_deadlock();
+      break;
+    }
+    assign_rates();
+    const double dt = next_step_duration();
+    if (dt == kInf) report_deadlock();  // running activities but none can progress
+    advance(dt);
+  }
+  running_loop_ = false;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void Engine::drain_ready() {
+  while (!ready_.empty()) {
+    const std::coroutine_handle<> h = ready_.front();
+    ready_.pop_front();
+    h.resume();
+    if (first_error_) return;
+  }
+}
+
+ActivityPtr Engine::start_exec(platform::HostId host, int core, double instructions,
+                               double rate) {
+  TIR_ASSERT(instructions >= 0.0);
+  TIR_ASSERT(rate > 0.0);
+  auto act = std::make_shared<Activity>();
+  act->kind = Activity::Kind::Exec;
+  act->seq = seq_++;
+  act->core_index = host_core_offset_[static_cast<std::size_t>(host)] + core;
+  act->nominal_rate = rate;
+  act->remaining = instructions;
+  if (instructions <= kWorkEps) {
+    act->state = Activity::State::Done;
+    return act;
+  }
+  act->state = Activity::State::Running;
+  ++core_load_[static_cast<std::size_t>(act->core_index)];
+  add_running(act);
+  return act;
+}
+
+const platform::Route* Engine::cached_route(platform::HostId src, platform::HostId dst) {
+  const std::uint64_t key = pair_key(src, dst);
+  const auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) return it->second.get();
+  auto route = std::make_unique<platform::Route>(platform_.route(src, dst));
+  const platform::Route* ptr = route.get();
+  route_cache_.emplace(key, std::move(route));
+  return ptr;
+}
+
+ActivityPtr Engine::make_comm(platform::HostId src, platform::HostId dst, double bytes,
+                              double lat_factor, double bw_factor, bool start_now) {
+  TIR_ASSERT(bytes >= 0.0);
+  auto act = std::make_shared<Activity>();
+  act->kind = Activity::Kind::Comm;
+  act->seq = seq_++;
+  act->remaining = std::max(bytes, kWorkEps * 2);  // zero-byte comms still pay latency
+  if (src == dst) {
+    act->route = nullptr;
+    act->latency_left = platform_.loopback_latency() * lat_factor;
+    act->bw_bound = platform_.loopback_bandwidth() * bw_factor;
+  } else {
+    act->route = cached_route(src, dst);
+    act->latency_left = act->route->latency * lat_factor;
+    double min_bw = kInf;
+    for (const platform::LinkId l : act->route->links) {
+      min_bw = std::min(min_bw, platform_.link(l).bandwidth);
+    }
+    act->bw_bound = min_bw * bw_factor;
+  }
+  TIR_ASSERT(act->bw_bound > 0.0);
+  if (start_now) start_activity(act);
+  return act;
+}
+
+ActivityPtr Engine::start_timer(double duration) {
+  TIR_ASSERT(duration >= 0.0);
+  auto act = std::make_shared<Activity>();
+  act->kind = Activity::Kind::Timer;
+  act->seq = seq_++;
+  act->deadline = now_ + duration;
+  act->state = Activity::State::Running;
+  add_running(act);
+  return act;
+}
+
+ActivityPtr Engine::make_gate() {
+  auto act = std::make_shared<Activity>();
+  act->kind = Activity::Kind::Gate;
+  act->seq = seq_++;
+  act->state = Activity::State::Pending;
+  return act;
+}
+
+void Engine::start_activity(const ActivityPtr& act) {
+  TIR_ASSERT(act->state == Activity::State::Pending);
+  act->state = Activity::State::Running;
+  add_running(act);
+}
+
+void Engine::complete_now(const ActivityPtr& act) {
+  TIR_ASSERT(!act->done());
+  if (act->run_slot >= 0) remove_running(*act);
+  if (act->kind == Activity::Kind::Exec) {
+    --core_load_[static_cast<std::size_t>(act->core_index)];
+  }
+  act->state = Activity::State::Done;
+  complete(*act);
+}
+
+void Engine::chain(const ActivityPtr& source, const ActivityPtr& gate) {
+  if (source->done()) {
+    if (!gate->done()) complete_now(gate);
+  } else {
+    source->waiters.push_back(Waiter{{}, nullptr, -1, gate});
+  }
+}
+
+void Engine::add_running(const ActivityPtr& act) {
+  act->run_slot = static_cast<std::int32_t>(running_.size());
+  running_.push_back(act);
+}
+
+void Engine::remove_running(Activity& act) {
+  TIR_ASSERT(act.run_slot >= 0);
+  const auto slot = static_cast<std::size_t>(act.run_slot);
+  TIR_ASSERT(slot < running_.size() && running_[slot].get() == &act);
+  if (slot != running_.size() - 1) {
+    running_[slot] = std::move(running_.back());
+    running_[slot]->run_slot = static_cast<std::int32_t>(slot);
+  }
+  running_.pop_back();
+  act.run_slot = -1;
+}
+
+void Engine::complete(Activity& act) {
+  // Wake waiters in registration order. Chained gates complete recursively;
+  // take ownership of the waiter list first since completing a chained gate
+  // may re-enter complete().
+  std::vector<Waiter> waiters = std::move(act.waiters);
+  act.waiters.clear();
+  for (Waiter& w : waiters) {
+    if (w.any != nullptr) {
+      if (w.any->completed_index < 0) {
+        w.any->completed_index = w.any_index;
+        ready_.push_back(w.any->waiter);
+      }
+    } else if (w.chain != nullptr) {
+      if (!w.chain->done()) complete_now(w.chain);
+    } else if (w.handle) {
+      ready_.push_back(w.handle);
+    }
+  }
+}
+
+void Engine::assign_rates() {
+  flow_specs_.clear();
+  flow_acts_.clear();
+  for (const ActivityPtr& a : running_) {
+    switch (a->kind) {
+      case Activity::Kind::Exec: {
+        const int load = core_load_[static_cast<std::size_t>(a->core_index)];
+        TIR_ASSERT(load >= 1);
+        a->rate = a->nominal_rate / load;
+        break;
+      }
+      case Activity::Kind::Comm:
+        if (a->in_latency_phase()) {
+          a->rate = 0.0;
+        } else if (config_.sharing == Sharing::Uncontended || a->route == nullptr) {
+          a->rate = a->bw_bound;
+        } else {
+          flow_specs_.push_back(FlowSpec{a->route->links, a->bw_bound});
+          flow_acts_.push_back(a.get());
+        }
+        break;
+      case Activity::Kind::Timer:
+      case Activity::Kind::Gate:
+        break;
+    }
+  }
+  if (!flow_specs_.empty()) {
+    flow_rates_.resize(flow_specs_.size());
+    solver_.solve(flow_specs_, flow_rates_);
+    for (std::size_t i = 0; i < flow_acts_.size(); ++i) flow_acts_[i]->rate = flow_rates_[i];
+  }
+}
+
+double Engine::next_step_duration() const {
+  double dt = kInf;
+  for (const ActivityPtr& a : running_) {
+    switch (a->kind) {
+      case Activity::Kind::Exec:
+        dt = std::min(dt, a->remaining / a->rate);
+        break;
+      case Activity::Kind::Comm:
+        if (a->in_latency_phase()) {
+          dt = std::min(dt, a->latency_left);
+        } else if (a->rate > 0.0) {
+          dt = std::min(dt, a->remaining / a->rate);
+        }
+        break;
+      case Activity::Kind::Timer:
+        dt = std::min(dt, a->deadline - now_);
+        break;
+      case Activity::Kind::Gate:
+        break;
+    }
+  }
+  return std::max(dt, 0.0);
+}
+
+void Engine::advance(double dt) {
+  now_ += dt;
+  ++steps_;
+  const double time_slack = kTimeEps * std::max(1.0, now_);
+  // Collect completions first: completing mutates running_ (swap-erase).
+  static thread_local std::vector<ActivityPtr> finished;
+  finished.clear();
+  for (const ActivityPtr& a : running_) {
+    switch (a->kind) {
+      case Activity::Kind::Exec:
+        a->remaining -= a->rate * dt;
+        if (a->remaining <= kWorkEps) finished.push_back(a);
+        break;
+      case Activity::Kind::Comm:
+        if (a->in_latency_phase()) {
+          a->latency_left -= dt;
+          if (a->latency_left <= time_slack) a->latency_left = 0.0;
+        } else {
+          a->remaining -= a->rate * dt;
+          if (a->remaining <= kWorkEps) finished.push_back(a);
+        }
+        break;
+      case Activity::Kind::Timer:
+        if (a->deadline <= now_ + time_slack) finished.push_back(a);
+        break;
+      case Activity::Kind::Gate:
+        break;
+    }
+  }
+  for (const ActivityPtr& a : finished) {
+    remove_running(*a);
+    if (a->kind == Activity::Kind::Exec) {
+      --core_load_[static_cast<std::size_t>(a->core_index)];
+    }
+    a->state = Activity::State::Done;
+    complete(*a);
+  }
+}
+
+void Engine::report_deadlock() const {
+  std::string blocked;
+  int shown = 0;
+  for (const auto& rec : actors_) {
+    if (!rec->done) {
+      if (shown > 0) blocked += ", ";
+      if (shown == 8) {
+        blocked += "...";
+        break;
+      }
+      blocked += rec->ctx.name();
+      ++shown;
+    }
+  }
+  throw SimError("deadlock at t=" + std::to_string(now_) + ": " +
+                 std::to_string(alive_actors_) + " actor(s) blocked forever [" + blocked + "]");
+}
+
+}  // namespace tir::sim

@@ -1,0 +1,230 @@
+// The discrete-event simulation engine.
+//
+// One Engine simulates one platform.  Simulated processes (actors) are
+// coroutines spawned with spawn(); they interact with simulated time through
+// their Ctx: co_await ctx.execute(instructions), ctx.sleep(t), or waits on
+// activities created by higher layers (msg, smpi).
+//
+// The event loop alternates two phases until quiescence:
+//   1. resume every ready actor until all are blocked on activities;
+//   2. assign rates to running activities (core time-sharing for execs,
+//      uncontended-min or max-min fair sharing for communications), find the
+//      earliest completion, advance simulated time, and mark completions,
+//      which makes their waiters ready again.
+//
+// The engine is single-threaded and deterministic: identical inputs produce
+// bit-identical simulated schedules.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/activity.hpp"
+#include "sim/coro.hpp"
+#include "sim/maxmin.hpp"
+
+namespace tir::sim {
+
+class Ctx;
+using ActorFn = std::function<Coro(Ctx&)>;
+
+/// How concurrent flows share the network.
+enum class Sharing {
+  Uncontended,  ///< each flow gets min link capacity along its route (fast)
+  MaxMin,       ///< max-min fair sharing across links (SimGrid-style fluid)
+};
+
+struct EngineConfig {
+  Sharing sharing = Sharing::Uncontended;
+};
+
+/// Awaitable for a single activity.
+struct ActivityAwaiter {
+  Activity* act;
+  bool await_ready() const noexcept { return act->done(); }
+  void await_suspend(std::coroutine_handle<> h) {
+    act->waiters.push_back(Waiter{h, nullptr, -1, nullptr});
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Awaitable for a set of activities; resumes on the first completion and
+/// yields its index within the set.
+class WaitAnyAwaiter {
+ public:
+  explicit WaitAnyAwaiter(std::vector<ActivityPtr> acts) : acts_(std::move(acts)) {}
+  bool await_ready() noexcept {
+    for (std::size_t i = 0; i < acts_.size(); ++i) {
+      if (acts_[i]->done()) {
+        ready_index_ = static_cast<int>(i);
+        return true;
+      }
+    }
+    return false;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    state_ = std::make_shared<WaitAnyState>();
+    state_->waiter = h;
+    for (std::size_t i = 0; i < acts_.size(); ++i) {
+      acts_[i]->waiters.push_back(Waiter{{}, state_, static_cast<int>(i), nullptr});
+    }
+  }
+  int await_resume() const noexcept {
+    return state_ != nullptr ? state_->completed_index : ready_index_;
+  }
+
+ private:
+  std::vector<ActivityPtr> acts_;
+  std::shared_ptr<WaitAnyState> state_;
+  int ready_index_ = -1;
+};
+
+class Engine {
+ public:
+  /// The platform must outlive the engine.
+  Engine(const platform::Platform& platform, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const platform::Platform& platform() const { return platform_; }
+  SimTime now() const { return now_; }
+  std::uint64_t steps() const { return steps_; }            ///< time advances
+  std::uint64_t activities_created() const { return seq_; } ///< total activities
+
+  /// Create an actor pinned to (host, core). Returns its index.
+  int spawn(std::string name, platform::HostId host, int core, ActorFn fn);
+
+  /// Run until every actor finished. Throws SimError on deadlock and
+  /// rethrows the first actor exception.
+  void run();
+
+  // --- activity construction (used by Ctx and the msg/smpi layers) --------
+  /// Asynchronous execution of `instructions` at `rate` instr/s on a core.
+  ActivityPtr start_exec(platform::HostId host, int core, double instructions, double rate);
+
+  /// Communication of `bytes` from src to dst.  Latency and bandwidth are
+  /// scaled by the given factors (the piecewise-linear model hooks in here).
+  /// If start_now is false the comm is created Pending; call start_activity()
+  /// when the protocol says the transfer begins (e.g. rendezvous match).
+  ActivityPtr make_comm(platform::HostId src, platform::HostId dst, double bytes,
+                        double lat_factor = 1.0, double bw_factor = 1.0, bool start_now = true);
+
+  /// Timer that fires at now() + duration.
+  ActivityPtr start_timer(double duration);
+
+  /// Pure synchronization token (not time-consuming); complete it manually.
+  ActivityPtr make_gate();
+
+  /// Move a Pending activity into the running set.
+  void start_activity(const ActivityPtr& act);
+
+  /// Complete a Gate (or any activity) immediately, waking its waiters.
+  void complete_now(const ActivityPtr& act);
+
+  /// Complete `gate` when `source` completes (now, if it already has).
+  /// Used by request objects to track the communication they stand for.
+  void chain(const ActivityPtr& source, const ActivityPtr& gate);
+
+  // --- internal (used by coroutine plumbing) ------------------------------
+  void on_actor_done(int actor_index, std::exception_ptr exception);
+  void make_ready(std::coroutine_handle<> h) { ready_.push_back(h); }
+
+  /// Ctx of a spawned actor (stable address).
+  Ctx& ctx(int actor_index);
+
+ private:
+  struct ActorRec;
+
+  void drain_ready();
+  void assign_rates();
+  double next_step_duration() const;
+  void advance(double dt);
+  void complete(Activity& act);
+  void add_running(const ActivityPtr& act);
+  void remove_running(Activity& act);
+  const platform::Route* cached_route(platform::HostId src, platform::HostId dst);
+  [[noreturn]] void report_deadlock() const;
+
+  const platform::Platform& platform_;
+  EngineConfig config_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t steps_ = 0;
+
+  std::vector<std::unique_ptr<ActorRec>> actors_;
+  int alive_actors_ = 0;
+  std::exception_ptr first_error_;
+
+  std::deque<std::coroutine_handle<>> ready_;
+  std::vector<ActivityPtr> running_;
+
+  std::vector<int> core_load_;         // active execs per flattened core
+  std::vector<int> host_core_offset_;  // host id -> first core slot
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<platform::Route>> route_cache_;
+  MaxMinSolver solver_;
+  // scratch for max-min mode
+  std::vector<FlowSpec> flow_specs_;
+  std::vector<double> flow_rates_;
+  std::vector<Activity*> flow_acts_;
+
+  bool running_loop_ = false;
+};
+
+/// Actor-facing API; one per actor, stable address for the actor's lifetime.
+class Ctx {
+ public:
+  Ctx(Engine& engine, int index, std::string name, platform::HostId host, int core)
+      : engine_(engine), index_(index), name_(std::move(name)), host_(host), core_(core) {}
+
+  Engine& engine() { return engine_; }
+  SimTime now() const { return engine_.now(); }
+  int index() const { return index_; }
+  const std::string& name() const { return name_; }
+  platform::HostId host() const { return host_; }
+  int core() const { return core_; }
+
+  /// Speed (instr/s) of this actor's host, per the replay calibration.
+  double host_speed() const { return engine_.platform().host(host_).speed; }
+
+  /// Run `instructions` at the host's calibrated speed.
+  ActivityAwaiter execute(double instructions) {
+    return wait(engine_.start_exec(host_, core_, instructions, host_speed()));
+  }
+
+  /// Run `instructions` at an explicit rate (machine-model override).
+  ActivityAwaiter execute_at(double instructions, double rate) {
+    return wait(engine_.start_exec(host_, core_, instructions, rate));
+  }
+
+  /// Suspend for a fixed simulated duration.
+  ActivityAwaiter sleep(double duration) { return wait(engine_.start_timer(duration)); }
+
+  /// Wait for one activity. Keeps the pointer alive across the await.
+  ActivityAwaiter wait(ActivityPtr act) {
+    keepalive_ = std::move(act);
+    return ActivityAwaiter{keepalive_.get()};
+  }
+
+  /// Wait for the first of several activities; yields the completed index.
+  WaitAnyAwaiter wait_any(std::vector<ActivityPtr> acts) {
+    return WaitAnyAwaiter(std::move(acts));
+  }
+
+ private:
+  Engine& engine_;
+  int index_;
+  std::string name_;
+  platform::HostId host_;
+  int core_;
+  ActivityPtr keepalive_;  // last awaited activity (single outstanding wait)
+};
+
+}  // namespace tir::sim

@@ -1,0 +1,83 @@
+#include "sim/maxmin.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/error.hpp"
+
+namespace tir::sim {
+
+void MaxMinSolver::reset_links(std::span<const platform::Link> links) {
+  link_capacity_.resize(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) link_capacity_[i] = links[i].bandwidth;
+  link_remaining_.resize(links.size());
+  link_nflows_.resize(links.size());
+}
+
+void MaxMinSolver::solve(std::span<const FlowSpec> flows, std::span<double> rates_out) {
+  TIR_ASSERT(rates_out.size() == flows.size());
+  const std::size_t nf = flows.size();
+  if (nf == 0) return;
+
+  link_remaining_ = link_capacity_;
+  std::fill(link_nflows_.begin(), link_nflows_.end(), 0);
+  flow_frozen_.assign(nf, 0);
+
+  for (const FlowSpec& f : flows) {
+    for (const platform::LinkId l : f.route) {
+      TIR_ASSERT(static_cast<std::size_t>(l) < link_nflows_.size());
+      ++link_nflows_[static_cast<std::size_t>(l)];
+    }
+  }
+
+  std::size_t unfrozen = nf;
+  while (unfrozen > 0) {
+    // The binding constraint this round: the smallest of (a) any link's fair
+    // share among its unfrozen flows, (b) any unfrozen flow's own cap.
+    double level = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < link_remaining_.size(); ++l) {
+      if (link_nflows_[l] > 0) {
+        level = std::min(level, link_remaining_[l] / link_nflows_[l]);
+      }
+    }
+    bool cap_binds = false;
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (flow_frozen_[i] == 0 && flows[i].cap <= level) {
+        level = flows[i].cap;
+        cap_binds = true;
+      }
+    }
+    TIR_ASSERT(level < std::numeric_limits<double>::infinity());
+
+    // Freeze every flow bound at this level: flows whose cap equals the
+    // level, and flows crossing a link saturated at this level.
+    bool froze_someone = false;
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (flow_frozen_[i] != 0) continue;
+      bool bound = cap_binds && flows[i].cap <= level * (1.0 + 1e-12);
+      if (!bound) {
+        for (const platform::LinkId l : flows[i].route) {
+          const auto li = static_cast<std::size_t>(l);
+          if (link_remaining_[li] / link_nflows_[li] <= level * (1.0 + 1e-12)) {
+            bound = true;
+            break;
+          }
+        }
+      }
+      if (bound) {
+        rates_out[i] = level;
+        flow_frozen_[i] = 1;
+        froze_someone = true;
+        --unfrozen;
+        for (const platform::LinkId l : flows[i].route) {
+          const auto li = static_cast<std::size_t>(l);
+          link_remaining_[li] = std::max(0.0, link_remaining_[li] - level);
+          --link_nflows_[li];
+        }
+      }
+    }
+    TIR_ASSERT(froze_someone);  // progress guarantee
+  }
+}
+
+}  // namespace tir::sim

@@ -1,0 +1,43 @@
+// Max-min fair bandwidth sharing with per-flow rate caps.
+//
+// Implements progressive filling: repeatedly find the most constrained
+// resource (a link's fair share or a flow's own cap), freeze the flows it
+// binds, subtract their consumption, and continue until every flow has a
+// rate.  This is the fluid network model SimGrid's kernel popularized; it is
+// what makes contention simulation tractable compared to packet-level
+// simulation (cf. the paper's related-work discussion).
+//
+// Complexity: O(rounds * sum(route lengths)); rounds <= number of distinct
+// bottlenecks.  The Solver owns scratch buffers so steady-state solving does
+// not allocate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace tir::sim {
+
+struct FlowSpec {
+  std::span<const platform::LinkId> route;  ///< links traversed
+  double cap = 0.0;                         ///< per-flow rate bound (bytes/s)
+};
+
+class MaxMinSolver {
+ public:
+  /// Prepare for a platform with `link_count` links of the given capacities.
+  void reset_links(std::span<const platform::Link> links);
+
+  /// Compute max-min fair rates. `rates_out` must have flows.size() entries.
+  /// Link capacities are taken from the last reset_links() call.
+  void solve(std::span<const FlowSpec> flows, std::span<double> rates_out);
+
+ private:
+  std::vector<double> link_capacity_;   // static capacities
+  std::vector<double> link_remaining_;  // scratch: capacity left this solve
+  std::vector<int> link_nflows_;        // scratch: unfrozen flows per link
+  std::vector<char> flow_frozen_;       // scratch
+};
+
+}  // namespace tir::sim

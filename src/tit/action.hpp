@@ -1,0 +1,61 @@
+// Time-Independent Trace actions.
+//
+// A TiT describes an MPI execution purely in terms of volumes (paper §1):
+//
+//   p0 compute 956140        <- instructions between two MPI calls
+//   p0 send p1 1240          <- point-to-point, bytes
+//   p0 recv p1 1240          <- the new (SMPI back-end) format carries the
+//                               size on recv too (paper §3.3); the old
+//                               format omitted it
+//   p0 allreduce 4096 977536 <- communication bytes + reduction compute
+//
+// No timestamps anywhere: that is the whole point, and what lets a trace
+// acquired on any mix of machines be replayed on any simulated platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tir::tit {
+
+enum class ActionType : std::uint8_t {
+  Init,
+  Finalize,
+  Compute,
+  Send,
+  Isend,
+  Recv,
+  Irecv,
+  Wait,      ///< wait for the oldest outstanding nonblocking request
+  WaitAll,   ///< wait for every outstanding nonblocking request
+  Barrier,
+  Bcast,
+  Reduce,
+  AllReduce,
+  AllToAll,
+  AllGather,
+  Gather,
+  Scatter,
+};
+
+/// Marks "size unknown" on old-format recv actions (paper §3.3 added the
+/// size parameter precisely because the old format lacked it).
+inline constexpr double kNoVolume = -1.0;
+
+struct Action {
+  ActionType type = ActionType::Compute;
+  std::int32_t proc = -1;     ///< issuing rank
+  std::int32_t partner = -1;  ///< peer rank (p2p) or root (rooted collectives)
+  double volume = 0.0;        ///< instructions (compute) or bytes (comms)
+  double volume2 = 0.0;       ///< second volume: reduction compute (reduce/
+                              ///< allreduce) or recv bytes (alltoall/allgather)
+
+  bool operator==(const Action&) const = default;
+};
+
+const char* action_name(ActionType t);
+
+/// Render one action in the trace text format ("p0 send p1 1240").
+std::string to_line(const Action& a);
+
+}  // namespace tir::tit

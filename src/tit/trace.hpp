@@ -1,0 +1,69 @@
+// Trace containers, parsing, writing, validation and summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tit/action.hpp"
+
+namespace tir::tit {
+
+/// An in-memory Time-Independent Trace: one action sequence per process.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(int nprocs) : per_proc_(static_cast<std::size_t>(nprocs)) {}
+
+  int nprocs() const { return static_cast<int>(per_proc_.size()); }
+  const std::vector<Action>& actions(int proc) const;
+  std::vector<Action>& actions(int proc);
+
+  /// Append, routing by a.proc. Throws if the rank is out of range.
+  void push(const Action& a);
+
+  std::size_t total_actions() const;
+
+ private:
+  std::vector<std::vector<Action>> per_proc_;
+};
+
+/// Aggregate volumes; what the trace says the run "weighs".
+struct TraceStats {
+  std::size_t actions = 0;
+  std::size_t computes = 0;
+  std::size_t p2p_messages = 0;   ///< send+isend actions
+  std::size_t collectives = 0;
+  double compute_instructions = 0.0;
+  double p2p_bytes = 0.0;
+  double eager_messages = 0.0;    ///< p2p messages strictly below 64 KiB
+};
+
+TraceStats stats(const Trace& trace);
+
+/// Parse one trace line. Ranks may be written "p3" or "3".
+/// Throws ParseError with the offending text.
+Action parse_line(std::string_view line);
+
+/// Parse a whole trace from text: one action per line, '#' comments and
+/// blank lines ignored. nprocs fixes the rank count (ranks must be < nprocs).
+Trace parse_trace(std::istream& in, int nprocs);
+Trace parse_trace_string(const std::string& text, int nprocs);
+
+/// Write one file per process ("<basename>_<rank>.tit") plus a manifest
+/// ("<basename>.manifest") listing them, under `dir`. Returns manifest path.
+std::string write_trace(const Trace& trace, const std::string& dir,
+                        const std::string& basename);
+
+/// Load a trace back through its manifest. A single-entry manifest means all
+/// ranks share one file (paper §3.3); `nprocs` must then be given explicitly.
+Trace load_trace(const std::string& manifest_path, int nprocs = -1);
+
+/// Structural validation: every send has a matching recv (per ordered pair),
+/// partners in range, init/finalize discipline. Throws tir::Error describing
+/// the first problem.
+void validate(const Trace& trace);
+
+}  // namespace tir::tit

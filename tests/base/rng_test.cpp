@@ -1,0 +1,58 @@
+#include "base/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tir::rng {
+namespace {
+
+TEST(Rng, Uniform01IsDeterministic) {
+  EXPECT_DOUBLE_EQ(uniform01(1, 2), uniform01(1, 2));
+  EXPECT_NE(uniform01(1, 2), uniform01(1, 3));
+  EXPECT_NE(uniform01(1, 2), uniform01(2, 2));
+}
+
+TEST(Rng, Uniform01Range) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double v = uniform01(42, i);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformPm1Range) {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const double v = uniform_pm1(7, i);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.05);  // roughly centred
+}
+
+TEST(Rng, SequenceReproducible) {
+  Sequence a(123);
+  Sequence b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SequenceUniformBounds) {
+  Sequence s(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = s.next_uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, Mix64AvalanchesSingleBit) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t a = mix64(0x1234567890abcdefULL);
+  const std::uint64_t b = mix64(0x1234567890abceefULL);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+}  // namespace
+}  // namespace tir::rng

@@ -1,0 +1,52 @@
+#include "base/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace tir::str {
+namespace {
+
+TEST(Str, Trim) {
+  EXPECT_EQ(trim("  abc \t\r\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Str, SplitWs) {
+  const auto t = split_ws("p0 send  p1\t1240");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "p0");
+  EXPECT_EQ(t[1], "send");
+  EXPECT_EQ(t[2], "p1");
+  EXPECT_EQ(t[3], "1240");
+}
+
+TEST(Str, SplitWsEmpty) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(Str, SplitKeepsEmptyFields) {
+  const auto t = split("a,,b", ',');
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(starts_with("compute 42", "compute"));
+  EXPECT_FALSE(starts_with("comp", "compute"));
+}
+
+TEST(Str, ToU64) {
+  EXPECT_EQ(to_u64("956140", "volume"), 956140u);
+  EXPECT_THROW(to_u64("12x", "volume"), ParseError);
+  EXPECT_THROW(to_u64("", "volume"), ParseError);
+  EXPECT_THROW(to_u64("-3", "volume"), ParseError);
+}
+
+TEST(Str, ToDouble) {
+  EXPECT_DOUBLE_EQ(to_double("1.5e9", "rate"), 1.5e9);
+  EXPECT_THROW(to_double("abc", "rate"), ParseError);
+}
+
+}  // namespace
+}  // namespace tir::str

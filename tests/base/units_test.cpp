@@ -1,0 +1,74 @@
+#include "base/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/error.hpp"
+
+namespace tir::units {
+namespace {
+
+TEST(Units, ParseBytesPlain) { EXPECT_EQ(parse_bytes("1500"), 1500u); }
+
+TEST(Units, ParseBytesBinaryPrefixes) {
+  EXPECT_EQ(parse_bytes("64KiB"), 65536u);
+  EXPECT_EQ(parse_bytes("1MiB"), 1048576u);
+  EXPECT_EQ(parse_bytes("2GiB"), 2147483648u);
+}
+
+TEST(Units, ParseBytesDecimalPrefixes) {
+  EXPECT_EQ(parse_bytes("1kB"), 1000u);
+  EXPECT_EQ(parse_bytes("1MB"), 1000000u);
+  EXPECT_EQ(parse_bytes("1.5GB"), 1500000000u);
+}
+
+TEST(Units, ParseBytesWhitespaceTolerant) { EXPECT_EQ(parse_bytes("  64 KiB "), 65536u); }
+
+TEST(Units, ParseBytesRejectsGarbage) {
+  EXPECT_THROW(parse_bytes("abc"), ParseError);
+  EXPECT_THROW(parse_bytes("12XB"), ParseError);
+  EXPECT_THROW(parse_bytes(""), ParseError);
+}
+
+TEST(Units, ParseBandwidthBitsVsBytes) {
+  EXPECT_DOUBLE_EQ(parse_bandwidth("10Gbps"), 1.25e9);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("1Gbps"), 1.25e8);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("1.25GBps"), 1.25e9);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("100MBps"), 1e8);
+}
+
+TEST(Units, ParseBandwidthBareNumberIsBytesPerSecond) {
+  EXPECT_DOUBLE_EQ(parse_bandwidth("123456"), 123456.0);
+}
+
+TEST(Units, ParseBandwidthRejectsUnknownUnits) {
+  EXPECT_THROW(parse_bandwidth("10Gz"), ParseError);
+  EXPECT_THROW(parse_bandwidth("10Xbps"), ParseError);
+}
+
+TEST(Units, ParseDuration) {
+  EXPECT_DOUBLE_EQ(parse_duration("15us"), 1.5e-5);
+  EXPECT_DOUBLE_EQ(parse_duration("2ms"), 2e-3);
+  EXPECT_DOUBLE_EQ(parse_duration("3"), 3.0);
+  EXPECT_DOUBLE_EQ(parse_duration("250ns"), 2.5e-7);
+  EXPECT_DOUBLE_EQ(parse_duration("1min"), 60.0);
+}
+
+TEST(Units, ParseDurationScientificNotation) {
+  EXPECT_DOUBLE_EQ(parse_duration("1e-4"), 1e-4);
+  EXPECT_DOUBLE_EQ(parse_duration("2.5e-5s"), 2.5e-5);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(65536.0), "64.0 KiB");
+  EXPECT_EQ(format_bytes(512.0), "512.0 B");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(1.5), "1.50 s");
+  EXPECT_EQ(format_duration(5.21e-5), "52.10 us");
+}
+
+TEST(Units, FormatRate) { EXPECT_EQ(format_rate(1.83e9), "1.83 G/s"); }
+
+}  // namespace
+}  // namespace tir::units

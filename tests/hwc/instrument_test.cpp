@@ -1,0 +1,131 @@
+// Instrumentation model invariants: fine > minimal > coarse perturbation,
+// -O3 shrinks both volume and probe count, flush accounting, determinism.
+#include "hwc/instrument.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tir::hwc {
+namespace {
+
+const Region kBigRegion{1e9, 2e6};   // 1 Ginstr, 2M function calls
+const Region kSmallRegion{1e6, 5e3};
+
+TEST(Instrument, CoarseMeasuresAppInstructionsOnly) {
+  Instrument instr(Granularity::Coarse, kO0);
+  const RegionEffect e = instr.process_region(kBigRegion);
+  EXPECT_DOUBLE_EQ(e.executed, 1e9);
+  EXPECT_NEAR(e.measured, 1e9, 1e9 * 3e-3);  // jitter only
+}
+
+TEST(Instrument, FineCountsProbeInstructions) {
+  Instrument coarse(Granularity::Coarse, kO0);
+  Instrument fine(Granularity::Fine, kO0);
+  const double m_coarse = coarse.process_region(kBigRegion).measured;
+  const double m_fine = fine.process_region(kBigRegion).measured;
+  // 2M calls x 600 instr = 1.2e9 extra: fine sees far more than coarse.
+  EXPECT_GT(m_fine, m_coarse * 1.5);
+}
+
+TEST(Instrument, MinimalPerturbationIsTiny) {
+  Instrument coarse(Granularity::Coarse, kO0);
+  Instrument minimal(Granularity::Minimal, kO0);
+  const double m_coarse = coarse.process_region(kBigRegion).measured;
+  const double m_min = minimal.process_region(kBigRegion).measured;
+  EXPECT_NEAR(m_min / m_coarse, 1.0, 0.01);
+}
+
+TEST(Instrument, NoneExecutesExactlyTheApplication) {
+  Instrument none(Granularity::None, kO0);
+  const RegionEffect e = none.process_region(kBigRegion);
+  EXPECT_DOUBLE_EQ(e.executed, 1e9);
+  EXPECT_DOUBLE_EQ(e.measured, 0.0);
+  EXPECT_DOUBLE_EQ(none.overhead_instructions(), 0.0);
+  const CallEffect c = none.process_mpi_call();
+  EXPECT_DOUBLE_EQ(c.executed, 0.0);
+}
+
+TEST(Instrument, O3ReducesExecutedInstructions) {
+  Instrument o0(Granularity::None, kO0);
+  Instrument o3(Granularity::None, kO3);
+  EXPECT_LT(o3.process_region(kBigRegion).executed, o0.process_region(kBigRegion).executed);
+}
+
+TEST(Instrument, O3ShrinksFineGrainPerturbationViaInlining) {
+  // Relative perturbation = probes/app. -O3 cuts calls by ~3x but app by
+  // only ~1.3x, so the *ratio* falls.
+  auto perturbation = [](CompilerModel cm) {
+    Instrument fine(Granularity::Fine, cm);
+    Instrument coarse(Granularity::Coarse, cm);
+    const double f = fine.process_region(kBigRegion).measured;
+    const double c = coarse.process_region(kBigRegion).measured;
+    return (f - c) / c;
+  };
+  EXPECT_LT(perturbation(kO3), perturbation(kO0) * 0.6);
+}
+
+TEST(Instrument, RelativePerturbationGrowsWhenRegionsShrink) {
+  // The B-64 / B-128 effect (paper Figs 2/5): fixed per-boundary costs
+  // weigh more when each process owns little work.
+  auto rel = [](const Region& r) {
+    Instrument minimal(Granularity::Minimal, kO3);
+    Instrument coarse(Granularity::Coarse, kO3);
+    return (minimal.process_region(r).measured - coarse.process_region(r).measured) /
+           coarse.process_region(r).measured;
+  };
+  EXPECT_GT(rel(Region{1e5, 10}), rel(Region{1e8, 1e4}));
+}
+
+TEST(Instrument, FineGrainFlushesTraceBuffer) {
+  ProbeCosts costs;
+  costs.buffer_bytes = 1e5;  // tiny buffer: force flushes
+  Instrument fine(Granularity::Fine, kO0, costs);
+  double stalls = 0.0;
+  for (int i = 0; i < 10; ++i) stalls += fine.process_region(kSmallRegion).stall_seconds;
+  // 10 regions x 5e3 calls x 52 B = 2.6e6 B -> ~26 flushes.
+  EXPECT_GT(stalls, 20 * costs.flush_seconds);
+  EXPECT_DOUBLE_EQ(stalls, fine.stall_seconds_total());
+}
+
+TEST(Instrument, MinimalGeneratesFarFewerRecordsThanFine) {
+  ProbeCosts costs;
+  costs.buffer_bytes = 1e4;
+  Instrument fine(Granularity::Fine, kO0, costs);
+  Instrument minimal(Granularity::Minimal, kO0, costs);
+  for (int i = 0; i < 100; ++i) {
+    fine.process_region(kSmallRegion);
+    fine.process_mpi_call();
+    minimal.process_region(kSmallRegion);
+    minimal.process_mpi_call();
+  }
+  EXPECT_LT(minimal.stall_seconds_total(), fine.stall_seconds_total() / 10);
+}
+
+TEST(Instrument, MpiCallOverheadOrdering) {
+  Instrument fine(Granularity::Fine, kO0);
+  Instrument minimal(Granularity::Minimal, kO0);
+  Instrument coarse(Granularity::Coarse, kO0);
+  EXPECT_GT(fine.process_mpi_call().executed, minimal.process_mpi_call().executed);
+  EXPECT_GT(minimal.process_mpi_call().executed, 0.0);
+  EXPECT_DOUBLE_EQ(coarse.process_mpi_call().executed, 0.0);
+}
+
+TEST(Instrument, CounterTotalAccumulates) {
+  Instrument c(Granularity::Coarse, kO0);
+  c.process_region(kSmallRegion);
+  c.process_region(kSmallRegion);
+  EXPECT_NEAR(c.counter_total(), 2e6, 2e6 * 3e-3);
+}
+
+TEST(Instrument, JitterIsDeterministicPerStream) {
+  Instrument a(Granularity::Coarse, kO0, {}, 7);
+  Instrument b(Granularity::Coarse, kO0, {}, 7);
+  Instrument c(Granularity::Coarse, kO0, {}, 8);
+  const double ma = a.process_region(kBigRegion).measured;
+  const double mb = b.process_region(kBigRegion).measured;
+  const double mc = c.process_region(kBigRegion).measured;
+  EXPECT_DOUBLE_EQ(ma, mb);
+  EXPECT_NE(ma, mc);
+}
+
+}  // namespace
+}  // namespace tir::hwc

@@ -1,0 +1,218 @@
+// MSG-layer semantics: the transfer starts at MATCH time (never before),
+// which is what made the old replay back-end overestimate eager traffic.
+#include "msg/msg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/clusters.hpp"
+
+namespace tir::msg {
+namespace {
+
+platform::Platform quad() {
+  platform::Platform p;
+  platform::ClusterSpec spec;
+  spec.prefix = "h";
+  spec.nodes = 4;
+  spec.core_speed = 1e9;
+  spec.link_bandwidth = 1e8;
+  spec.link_latency = 1e-4;
+  platform::build_flat_cluster(p, spec);
+  return p;
+}
+
+constexpr double kNetTime = 2e-4 + 1e-2;  // two hops + 1e6 B at 1e8 B/s
+
+TEST(Msg, SendThenRecvTransfersAfterMatch) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Mailboxes mb(eng);
+  double recv_end = 0.0;
+  eng.spawn("sender", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await mb.send(ctx, "0_1", 1e6);
+  });
+  eng.spawn("receiver", 1, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await ctx.sleep(1.0);  // receiver arrives late
+    co_await mb.recv(ctx, "0_1");
+    recv_end = ctx.now();
+  });
+  eng.run();
+  // MSG semantics: although the send was posted at t=0, the transfer only
+  // starts when the receiver matches at t=1.
+  EXPECT_NEAR(recv_end, 1.0 + kNetTime, 1e-9);
+}
+
+TEST(Msg, BlockingSendWaitsForTransfer) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Mailboxes mb(eng);
+  double send_end = 0.0;
+  eng.spawn("sender", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await mb.send(ctx, "m", 1e6);
+    send_end = ctx.now();
+  });
+  eng.spawn("receiver", 1, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await ctx.sleep(0.5);
+    co_await mb.recv(ctx, "m");
+  });
+  eng.run();
+  EXPECT_NEAR(send_end, 0.5 + kNetTime, 1e-9);
+}
+
+TEST(Msg, IsendReturnsImmediatelyButTransferStillStartsAtMatch) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Mailboxes mb(eng);
+  double after_isend = -1.0;
+  double recv_end = 0.0;
+  eng.spawn("sender", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    mb.isend(ctx, "m", 1e6);
+    after_isend = ctx.now();
+    co_return;
+  });
+  eng.spawn("receiver", 1, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await ctx.sleep(2.0);
+    co_await mb.recv(ctx, "m");
+    recv_end = ctx.now();
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(after_isend, 0.0);
+  EXPECT_NEAR(recv_end, 2.0 + kNetTime, 1e-9);
+}
+
+TEST(Msg, IsendRequestCompletesWithTransfer) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Mailboxes mb(eng);
+  double wait_end = 0.0;
+  eng.spawn("sender", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    const Request r = mb.isend(ctx, "m", 1e6);
+    co_await ctx.wait(r);
+    wait_end = ctx.now();
+  });
+  eng.spawn("receiver", 1, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await ctx.sleep(1.0);
+    co_await mb.recv(ctx, "m");
+  });
+  eng.run();
+  EXPECT_NEAR(wait_end, 1.0 + kNetTime, 1e-9);
+}
+
+TEST(Msg, RecvBeforeSendBlocksUntilMatched) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Mailboxes mb(eng);
+  double recv_end = 0.0;
+  double got_bytes = 0.0;
+  eng.spawn("receiver", 1, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await mb.recv(ctx, "m", &got_bytes);
+    recv_end = ctx.now();
+  });
+  eng.spawn("sender", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await ctx.sleep(3.0);
+    co_await mb.send(ctx, "m", 4096);
+  });
+  eng.run();
+  EXPECT_NEAR(recv_end, 3.0 + 2e-4 + 4096.0 / 1e8, 1e-9);
+  EXPECT_DOUBLE_EQ(got_bytes, 4096.0);
+}
+
+TEST(Msg, TasksMatchInFifoOrder) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Mailboxes mb(eng);
+  std::vector<double> sizes;
+  eng.spawn("sender", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    mb.isend(ctx, "m", 100);
+    mb.isend(ctx, "m", 200);
+    mb.isend(ctx, "m", 300);
+    co_return;
+  });
+  eng.spawn("receiver", 1, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    for (int i = 0; i < 3; ++i) {
+      double b = 0.0;
+      co_await mb.recv(ctx, "m", &b);
+      sizes.push_back(b);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(sizes, (std::vector<double>{100, 200, 300}));
+}
+
+TEST(Msg, BacklogCountsUnmatchedTasks) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Mailboxes mb(eng);
+  std::size_t backlog_mid = 0;
+  eng.spawn("sender", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    mb.isend(ctx, "m", 100);
+    mb.isend(ctx, "m", 100);
+    backlog_mid = mb.backlog("m");
+    co_return;
+  });
+  eng.spawn("receiver", 1, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await mb.recv(ctx, "m");
+    co_await mb.recv(ctx, "m");
+  });
+  eng.run();
+  EXPECT_EQ(backlog_mid, 2u);
+  EXPECT_EQ(mb.backlog("m"), 0u);
+}
+
+TEST(Msg, DistinctMailboxesDoNotInterfere) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Mailboxes mb(eng);
+  double got_a = 0.0;
+  double got_b = 0.0;
+  eng.spawn("s0", 0, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await mb.send(ctx, "0_2", 111);
+  });
+  eng.spawn("s1", 1, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await mb.send(ctx, "1_2", 222);
+  });
+  eng.spawn("r", 2, 0, [&](sim::Ctx& ctx) -> sim::Coro {
+    co_await mb.recv(ctx, "1_2", &got_b);
+    co_await mb.recv(ctx, "0_2", &got_a);
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(got_a, 111.0);
+  EXPECT_DOUBLE_EQ(got_b, 222.0);
+}
+
+TEST(Msg, RendezvousReleasesAllParties) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Rendezvous rdv(eng, 3);
+  std::vector<double> release_times;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn("a" + std::to_string(i), i, 0, [&, i](sim::Ctx& ctx) -> sim::Coro {
+      co_await ctx.sleep(static_cast<double>(i));
+      co_await rdv.arrive_and_wait(ctx);
+      release_times.push_back(ctx.now());
+    });
+  }
+  eng.run();
+  ASSERT_EQ(release_times.size(), 3u);
+  for (const double t : release_times) EXPECT_DOUBLE_EQ(t, 2.0);  // last arrival
+}
+
+TEST(Msg, RendezvousIsReusable) {
+  const platform::Platform p = quad();
+  sim::Engine eng(p);
+  Rendezvous rdv(eng, 2);
+  double second_round = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    eng.spawn("a" + std::to_string(i), i, 0, [&, i](sim::Ctx& ctx) -> sim::Coro {
+      co_await rdv.arrive_and_wait(ctx);
+      co_await ctx.sleep(i == 0 ? 1.0 : 2.0);
+      co_await rdv.arrive_and_wait(ctx);
+      second_round = ctx.now();
+    });
+  }
+  eng.run();
+  EXPECT_DOUBLE_EQ(second_round, 2.0);
+}
+
+}  // namespace
+}  // namespace tir::msg

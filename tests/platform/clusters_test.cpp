@@ -1,0 +1,67 @@
+#include "platform/clusters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tir::platform {
+namespace {
+
+TEST(Clusters, FlatClusterShape) {
+  Platform p;
+  ClusterSpec spec;
+  spec.prefix = "n";
+  spec.nodes = 8;
+  spec.cores_per_node = 2;
+  build_flat_cluster(p, spec);
+  EXPECT_EQ(p.host_count(), 8u);
+  EXPECT_EQ(p.switch_count(), 1u);
+  // Every pair routes through exactly two links (up + down).
+  const Route r = p.route(0, 7);
+  EXPECT_EQ(r.links.size(), 2u);
+}
+
+TEST(Clusters, CabinetClusterShape) {
+  Platform p;
+  ClusterSpec spec;
+  spec.prefix = "n";
+  spec.nodes = 12;
+  build_cabinet_cluster(p, spec, 3, 1e9, 1e-6);
+  EXPECT_EQ(p.host_count(), 12u);
+  EXPECT_EQ(p.switch_count(), 4u);  // root + 3 cabinets
+  // Hosts 0 and 3 share cabinet 0 (round robin): 2-link route.
+  EXPECT_EQ(p.route(0, 3).links.size(), 2u);
+  // Hosts 0 and 1 are in different cabinets: 4-link route.
+  EXPECT_EQ(p.route(0, 1).links.size(), 4u);
+}
+
+TEST(Clusters, BordereauMatchesPaperDescription) {
+  const Platform p = bordereau();
+  EXPECT_EQ(p.host_count(), 93u);        // 93 nodes
+  EXPECT_EQ(p.switch_count(), 1u);       // single switch
+  EXPECT_EQ(p.host(0).cores, 4);         // dual-proc dual-core
+  EXPECT_DOUBLE_EQ(p.host(0).l2_bytes, 1.0 * (1 << 20));  // 1 MiB L2
+}
+
+TEST(Clusters, GrapheneMatchesPaperDescription) {
+  const Platform p = graphene();
+  EXPECT_EQ(p.host_count(), 144u);  // 144 nodes
+  EXPECT_EQ(p.switch_count(), 5u);  // root + 4 cabinets
+  EXPECT_EQ(p.host(0).cores, 4);    // quad-core
+  EXPECT_DOUBLE_EQ(p.host(0).l2_bytes, 2.0 * (1 << 20));  // twice bordereau's
+}
+
+TEST(Clusters, TruthRatesAreOrdered) {
+  for (const ClusterCalibrationTruth& t : {bordereau_truth(), graphene_truth()}) {
+    EXPECT_GT(t.rate_in_cache, t.rate_out_of_cache);
+    EXPECT_GT(t.rate_out_of_cache, 0.0);
+    EXPECT_GT(t.copy_rate, 0.0);
+  }
+}
+
+TEST(Clusters, GrapheneIsFasterThanBordereau) {
+  // The paper's graphene numbers are uniformly faster; the models must agree.
+  EXPECT_GT(graphene_truth().rate_in_cache, bordereau_truth().rate_in_cache);
+  EXPECT_GT(graphene_truth().rate_out_of_cache, bordereau_truth().rate_out_of_cache);
+}
+
+}  // namespace
+}  // namespace tir::platform

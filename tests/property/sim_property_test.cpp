@@ -1,0 +1,142 @@
+// Property-based tests of the simulation kernel: max-min allocations on
+// randomized problems, core time-sharing across widths, comm conservation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "base/rng.hpp"
+#include "platform/clusters.hpp"
+#include "sim/engine.hpp"
+#include "sim/maxmin.hpp"
+
+namespace tir::sim {
+namespace {
+
+// ---------- max-min fairness on random topologies -----------------------
+
+class MaxMinProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinProperty, RandomProblemSatisfiesFairnessInvariants) {
+  rng::Sequence rand(GetParam());
+  const int n_links = 2 + static_cast<int>(rand.next_u64() % 6);
+  const int n_flows = 1 + static_cast<int>(rand.next_u64() % 20);
+
+  std::vector<platform::Link> links(static_cast<std::size_t>(n_links));
+  for (int l = 0; l < n_links; ++l) {
+    links[static_cast<std::size_t>(l)].id = l;
+    links[static_cast<std::size_t>(l)].bandwidth = rand.next_uniform(10.0, 1000.0);
+  }
+
+  std::vector<std::vector<platform::LinkId>> routes(static_cast<std::size_t>(n_flows));
+  std::vector<double> caps(static_cast<std::size_t>(n_flows));
+  std::vector<FlowSpec> flows;
+  for (int f = 0; f < n_flows; ++f) {
+    const auto fi = static_cast<std::size_t>(f);
+    const int route_len = 1 + static_cast<int>(rand.next_u64() % n_links);
+    // Distinct links per route: sample without replacement.
+    std::vector<platform::LinkId> all(static_cast<std::size_t>(n_links));
+    std::iota(all.begin(), all.end(), 0);
+    for (int i = 0; i < route_len; ++i) {
+      const auto pick = i + static_cast<int>(rand.next_u64() % (all.size() - i));
+      std::swap(all[static_cast<std::size_t>(i)], all[static_cast<std::size_t>(pick)]);
+    }
+    routes[fi].assign(all.begin(), all.begin() + route_len);
+    caps[fi] = rand.next_u64() % 3 == 0 ? rand.next_uniform(1.0, 100.0) : 1e18;
+    flows.push_back(FlowSpec{routes[fi], caps[fi]});
+  }
+
+  MaxMinSolver solver;
+  solver.reset_links(links);
+  std::vector<double> rates(flows.size());
+  solver.solve(flows, rates);
+
+  // (1) Positivity and per-flow cap.
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_GT(rates[f], 0.0);
+    EXPECT_LE(rates[f], caps[f] * (1.0 + 1e-9));
+  }
+  // (2) Link capacities respected.
+  std::vector<double> load(links.size(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (const platform::LinkId l : routes[f]) load[static_cast<std::size_t>(l)] += rates[f];
+  }
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    EXPECT_LE(load[l], links[l].bandwidth * (1.0 + 1e-9)) << "link " << l;
+  }
+  // (3) Max-min optimality certificate: every uncapped flow crosses at
+  // least one saturated link (otherwise its rate could be raised).
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (rates[f] >= caps[f] * (1.0 - 1e-9)) continue;  // bound by its own cap
+    bool crosses_saturated = false;
+    for (const platform::LinkId l : routes[f]) {
+      if (load[static_cast<std::size_t>(l)] >=
+          links[static_cast<std::size_t>(l)].bandwidth * (1.0 - 1e-9)) {
+        crosses_saturated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(crosses_saturated) << "flow " << f << " could be raised";
+  }
+  // (4) Identical routes and caps -> identical rates (fairness).
+  for (std::size_t a = 0; a < flows.size(); ++a) {
+    for (std::size_t b = a + 1; b < flows.size(); ++b) {
+      if (routes[a] == routes[b] && caps[a] == caps[b]) {
+        EXPECT_NEAR(rates[a], rates[b], 1e-6 * rates[a]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MaxMinProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+// ---------- core time-sharing across widths ------------------------------
+
+class TimeShareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeShareProperty, KEqualExecsFinishAtKTimesAlone) {
+  const int k = GetParam();
+  platform::Platform p;
+  platform::ClusterSpec spec;
+  spec.prefix = "h";
+  spec.nodes = 1;
+  spec.cores_per_node = 1;
+  spec.core_speed = 1e9;
+  platform::build_flat_cluster(p, spec);
+  Engine eng(p);
+  for (int i = 0; i < k; ++i) {
+    eng.spawn("a" + std::to_string(i), 0, 0,
+              [](Ctx& ctx) -> Coro { co_await ctx.execute(1e9); });
+  }
+  eng.run();
+  EXPECT_NEAR(eng.now(), static_cast<double>(k), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TimeShareProperty, ::testing::Values(1, 2, 3, 5, 8, 16, 31));
+
+// ---------- communication timing across sizes ----------------------------
+
+class CommSizeProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CommSizeProperty, TimeMatchesLatencyPlusBandwidthClosedForm) {
+  const double bytes = GetParam();
+  platform::Platform p;
+  platform::ClusterSpec spec;
+  spec.prefix = "h";
+  spec.nodes = 2;
+  spec.link_bandwidth = 1e8;
+  spec.link_latency = 1e-4;
+  platform::build_flat_cluster(p, spec);
+  Engine eng(p);
+  eng.spawn("a", 0, 0, [bytes](Ctx& ctx) -> Coro {
+    co_await ctx.wait(ctx.engine().make_comm(0, 1, bytes));
+  });
+  eng.run();
+  EXPECT_NEAR(eng.now(), 2e-4 + bytes / 1e8, 1e-9 * std::max(1.0, bytes / 1e8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CommSizeProperty,
+                         ::testing::Values(1.0, 64.0, 1500.0, 65536.0, 1e6, 1e8));
+
+}  // namespace
+}  // namespace tir::sim

@@ -1,0 +1,133 @@
+#include "sim/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tir::sim {
+namespace {
+
+std::vector<platform::Link> make_links(std::initializer_list<double> caps) {
+  std::vector<platform::Link> links;
+  platform::LinkId id = 0;
+  for (const double c : caps) {
+    platform::Link l;
+    l.id = id++;
+    l.bandwidth = c;
+    links.push_back(l);
+  }
+  return links;
+}
+
+constexpr double kNoCap = 1e18;
+
+TEST(MaxMin, SingleFlowGetsLinkCapacity) {
+  const auto links = make_links({100.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId route[] = {0};
+  const FlowSpec flows[] = {{route, kNoCap}};
+  double rates[1];
+  s.solve(flows, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(MaxMin, TwoFlowsShareEqually) {
+  const auto links = make_links({100.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId route[] = {0};
+  const FlowSpec flows[] = {{route, kNoCap}, {route, kNoCap}};
+  double rates[2];
+  s.solve(flows, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(MaxMin, FlowCapFreesBandwidthForOthers) {
+  const auto links = make_links({100.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId route[] = {0};
+  const FlowSpec flows[] = {{route, 20.0}, {route, kNoCap}};
+  double rates[2];
+  s.solve(flows, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 20.0);
+  EXPECT_DOUBLE_EQ(rates[1], 80.0);
+}
+
+TEST(MaxMin, ClassicTandemNetwork) {
+  // Flow A crosses links 0 and 1; flow B uses link 0; flow C uses link 1.
+  // Link 0 cap 100, link 1 cap 60. Max-min: A and C first constrained by
+  // link 1 (share 30); then B gets the rest of link 0 (70).
+  const auto links = make_links({100.0, 60.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId ra[] = {0, 1};
+  const platform::LinkId rb[] = {0};
+  const platform::LinkId rc[] = {1};
+  const FlowSpec flows[] = {{ra, kNoCap}, {rb, kNoCap}, {rc, kNoCap}};
+  double rates[3];
+  s.solve(flows, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 30.0);
+  EXPECT_DOUBLE_EQ(rates[1], 70.0);
+  EXPECT_DOUBLE_EQ(rates[2], 30.0);
+}
+
+TEST(MaxMin, AllocationsNeverExceedLinkCapacity) {
+  const auto links = make_links({100.0, 50.0, 75.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  // Randomish route mix.
+  const platform::LinkId r0[] = {0, 1};
+  const platform::LinkId r1[] = {1, 2};
+  const platform::LinkId r2[] = {0, 2};
+  const platform::LinkId r3[] = {0};
+  const platform::LinkId r4[] = {1};
+  const FlowSpec flows[] = {
+      {r0, kNoCap}, {r1, 10.0}, {r2, kNoCap}, {r3, kNoCap}, {r4, kNoCap}};
+  double rates[5];
+  s.solve(flows, rates);
+  double on_link[3] = {0, 0, 0};
+  const FlowSpec* fp = flows;
+  for (int i = 0; i < 5; ++i) {
+    for (const platform::LinkId l : fp[i].route) on_link[l] += rates[i];
+    EXPECT_GT(rates[i], 0.0);
+  }
+  EXPECT_LE(on_link[0], 100.0 + 1e-9);
+  EXPECT_LE(on_link[1], 50.0 + 1e-9);
+  EXPECT_LE(on_link[2], 75.0 + 1e-9);
+}
+
+TEST(MaxMin, WorkConservingOnSingleLink) {
+  // With no caps, a single link is fully used.
+  const auto links = make_links({90.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId route[] = {0};
+  std::vector<FlowSpec> flows(3, FlowSpec{route, kNoCap});
+  std::vector<double> rates(3);
+  s.solve(flows, rates);
+  EXPECT_NEAR(std::accumulate(rates.begin(), rates.end(), 0.0), 90.0, 1e-9);
+}
+
+TEST(MaxMin, EmptyProblemIsNoop) {
+  const auto links = make_links({10.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  s.solve({}, {});
+}
+
+TEST(MaxMin, ManyFlowsStillFair) {
+  const auto links = make_links({1000.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId route[] = {0};
+  std::vector<FlowSpec> flows(100, FlowSpec{route, kNoCap});
+  std::vector<double> rates(100);
+  s.solve(flows, rates);
+  for (const double r : rates) EXPECT_NEAR(r, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tir::sim

@@ -1,0 +1,193 @@
+#include "tit/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "base/error.hpp"
+
+namespace tir::tit {
+namespace {
+
+TEST(TitParse, PaperSnippetRoundTrips) {
+  // The exact snippet from paper §3.2.
+  const char* kSnippet =
+      "p0 compute 956140\n"
+      "p0 send p1 1240\n"
+      "p0 compute 2110\n"
+      "p0 send p2 1240\n"
+      "p0 compute 3821\n";
+  const Trace t = parse_trace_string(kSnippet, 3);
+  ASSERT_EQ(t.actions(0).size(), 5u);
+  EXPECT_EQ(t.actions(0)[0].type, ActionType::Compute);
+  EXPECT_DOUBLE_EQ(t.actions(0)[0].volume, 956140.0);
+  EXPECT_EQ(t.actions(0)[1].type, ActionType::Send);
+  EXPECT_EQ(t.actions(0)[1].partner, 1);
+  EXPECT_DOUBLE_EQ(t.actions(0)[1].volume, 1240.0);
+  // Round trip through to_line.
+  std::string rendered;
+  for (const Action& a : t.actions(0)) rendered += to_line(a) + "\n";
+  EXPECT_EQ(rendered, kSnippet);
+}
+
+TEST(TitParse, RanksWithAndWithoutPPrefix) {
+  EXPECT_EQ(parse_line("p3 compute 10").proc, 3);
+  EXPECT_EQ(parse_line("3 compute 10").proc, 3);
+  EXPECT_EQ(parse_line("p0 send 2 99").partner, 2);
+}
+
+TEST(TitParse, RecvWithAndWithoutSize) {
+  const Action new_style = parse_line("p0 recv p1 1240");
+  EXPECT_DOUBLE_EQ(new_style.volume, 1240.0);
+  const Action old_style = parse_line("p0 recv p1");
+  EXPECT_DOUBLE_EQ(old_style.volume, kNoVolume);
+}
+
+TEST(TitParse, AllVerbsParse) {
+  EXPECT_EQ(parse_line("p0 init").type, ActionType::Init);
+  EXPECT_EQ(parse_line("p0 finalize").type, ActionType::Finalize);
+  EXPECT_EQ(parse_line("p0 isend p1 64").type, ActionType::Isend);
+  EXPECT_EQ(parse_line("p0 irecv p1 64").type, ActionType::Irecv);
+  EXPECT_EQ(parse_line("p0 wait").type, ActionType::Wait);
+  EXPECT_EQ(parse_line("p0 waitall").type, ActionType::WaitAll);
+  EXPECT_EQ(parse_line("p0 barrier").type, ActionType::Barrier);
+  EXPECT_EQ(parse_line("p0 bcast 4096").type, ActionType::Bcast);
+  EXPECT_EQ(parse_line("p0 bcast 4096 p2").partner, 2);
+  EXPECT_EQ(parse_line("p0 reduce 4096 977536").type, ActionType::Reduce);
+  EXPECT_EQ(parse_line("p0 allreduce 4096 977536").type, ActionType::AllReduce);
+  EXPECT_DOUBLE_EQ(parse_line("p0 allreduce 4096 977536").volume2, 977536.0);
+  EXPECT_EQ(parse_line("p0 alltoall 100 200").type, ActionType::AllToAll);
+  EXPECT_EQ(parse_line("p0 allgather 100 200").type, ActionType::AllGather);
+  EXPECT_EQ(parse_line("p0 gather 100").type, ActionType::Gather);
+  EXPECT_EQ(parse_line("p0 scatter 100 p1").type, ActionType::Scatter);
+}
+
+TEST(TitParse, MalformedLinesThrow) {
+  EXPECT_THROW(parse_line("p0"), ParseError);
+  EXPECT_THROW(parse_line("p0 frobnicate 12"), ParseError);
+  EXPECT_THROW(parse_line("p0 compute"), ParseError);
+  EXPECT_THROW(parse_line("p0 compute -5"), ParseError);
+  EXPECT_THROW(parse_line("p0 send p1"), ParseError);
+  EXPECT_THROW(parse_line("p0 send p1 10 extra"), ParseError);
+  EXPECT_THROW(parse_line("px compute 10"), ParseError);
+}
+
+TEST(TitParse, CommentsAndBlankLinesIgnored) {
+  const Trace t = parse_trace_string("# header\n\n  \np0 compute 5\n", 1);
+  EXPECT_EQ(t.total_actions(), 1u);
+}
+
+TEST(TitParse, OutOfRangeRankRejected) {
+  EXPECT_THROW(parse_trace_string("p5 compute 5\n", 2), ParseError);
+}
+
+TEST(TitParse, ParseErrorCarriesLineNumber) {
+  try {
+    parse_trace_string("p0 compute 5\np0 bogus\n", 1);
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TitStats, CountsVolumes) {
+  const Trace t = parse_trace_string(
+      "p0 init\n"
+      "p0 compute 1000\n"
+      "p0 send p1 70000\n"
+      "p0 send p1 1240\n"
+      "p0 allreduce 8 100\n"
+      "p0 finalize\n"
+      "p1 init\n"
+      "p1 recv p0 70000\n"
+      "p1 recv p0 1240\n"
+      "p1 compute 500\n"
+      "p1 allreduce 8 100\n"
+      "p1 finalize\n",
+      2);
+  const TraceStats s = stats(t);
+  EXPECT_EQ(s.actions, 12u);
+  EXPECT_EQ(s.computes, 2u);
+  EXPECT_EQ(s.p2p_messages, 2u);
+  EXPECT_EQ(s.collectives, 2u);
+  EXPECT_DOUBLE_EQ(s.compute_instructions, 1500.0);
+  EXPECT_DOUBLE_EQ(s.p2p_bytes, 71240.0);
+  EXPECT_DOUBLE_EQ(s.eager_messages, 1.0);  // only the 1240-byte one
+}
+
+TEST(TitIo, WriteAndLoadRoundTrip) {
+  Trace t(2);
+  t.push({ActionType::Init, 0, -1, 0, 0});
+  t.push({ActionType::Compute, 0, -1, 956140, 0});
+  t.push({ActionType::Send, 0, 1, 1240, 0});
+  t.push({ActionType::Finalize, 0, -1, 0, 0});
+  t.push({ActionType::Init, 1, -1, 0, 0});
+  t.push({ActionType::Recv, 1, 0, 1240, 0});
+  t.push({ActionType::Finalize, 1, -1, 0, 0});
+
+  const std::string dir = std::filesystem::temp_directory_path() / "tit_roundtrip";
+  const std::string manifest = write_trace(t, dir, "lu_test");
+  const Trace back = load_trace(manifest);
+  ASSERT_EQ(back.nprocs(), 2);
+  EXPECT_EQ(back.actions(0), t.actions(0));
+  EXPECT_EQ(back.actions(1), t.actions(1));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TitIo, SingleFileManifestNeedsProcessCount) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "tit_shared";
+  fs::create_directories(dir);
+  {
+    std::FILE* f = std::fopen((dir / "shared.tit").c_str(), "w");
+    std::fputs("p0 compute 10\np1 compute 20\n", f);
+    std::fclose(f);
+    std::FILE* m = std::fopen((dir / "shared.manifest").c_str(), "w");
+    std::fputs("shared.tit\n", m);
+    std::fclose(m);
+  }
+  EXPECT_THROW(load_trace((dir / "shared.manifest").string()), Error);
+  const Trace t = load_trace((dir / "shared.manifest").string(), 2);
+  EXPECT_DOUBLE_EQ(t.actions(1)[0].volume, 20.0);
+  fs::remove_all(dir);
+}
+
+TEST(TitValidate, BalancedTracePasses) {
+  const Trace t = parse_trace_string(
+      "p0 send p1 10\n"
+      "p1 recv p0 10\n",
+      2);
+  EXPECT_NO_THROW(validate(t));
+}
+
+TEST(TitValidate, UnbalancedTraceFails) {
+  const Trace t = parse_trace_string("p0 send p1 10\n", 2);
+  EXPECT_THROW(validate(t), Error);
+}
+
+TEST(TitValidate, SelfMessageFails) {
+  Trace t(2);
+  t.push({ActionType::Send, 0, 0, 10, 0});
+  EXPECT_THROW(validate(t), Error);
+}
+
+TEST(TitValidate, ActionAfterFinalizeFails) {
+  Trace t(1);
+  t.push({ActionType::Finalize, 0, -1, 0, 0});
+  t.push({ActionType::Compute, 0, -1, 5, 0});
+  EXPECT_THROW(validate(t), Error);
+}
+
+TEST(TitValidate, IsendIrecvBalanceToo) {
+  const Trace t = parse_trace_string(
+      "p0 isend p1 10\n"
+      "p0 wait\n"
+      "p1 irecv p0 10\n"
+      "p1 wait\n",
+      2);
+  EXPECT_NO_THROW(validate(t));
+}
+
+}  // namespace
+}  // namespace tir::tit
