@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eff_replay_speed.dir/eff_replay_speed.cpp.o"
+  "CMakeFiles/eff_replay_speed.dir/eff_replay_speed.cpp.o.d"
+  "eff_replay_speed"
+  "eff_replay_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eff_replay_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eff_replay_speed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_counter_discrepancy_bordereau.dir/fig1_counter_discrepancy_bordereau.cpp.o"
+  "CMakeFiles/fig1_counter_discrepancy_bordereau.dir/fig1_counter_discrepancy_bordereau.cpp.o.d"
+  "fig1_counter_discrepancy_bordereau"
+  "fig1_counter_discrepancy_bordereau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_counter_discrepancy_bordereau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_counter_discrepancy_bordereau.
+# This may be replaced when dependencies are built.

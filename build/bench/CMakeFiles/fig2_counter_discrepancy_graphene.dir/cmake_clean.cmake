@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_counter_discrepancy_graphene.dir/fig2_counter_discrepancy_graphene.cpp.o"
+  "CMakeFiles/fig2_counter_discrepancy_graphene.dir/fig2_counter_discrepancy_graphene.cpp.o.d"
+  "fig2_counter_discrepancy_graphene"
+  "fig2_counter_discrepancy_graphene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_counter_discrepancy_graphene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

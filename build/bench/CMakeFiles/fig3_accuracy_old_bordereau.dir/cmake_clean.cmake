@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_accuracy_old_bordereau.dir/fig3_accuracy_old_bordereau.cpp.o"
+  "CMakeFiles/fig3_accuracy_old_bordereau.dir/fig3_accuracy_old_bordereau.cpp.o.d"
+  "fig3_accuracy_old_bordereau"
+  "fig3_accuracy_old_bordereau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_accuracy_old_bordereau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_accuracy_old_bordereau.
+# This may be replaced when dependencies are built.

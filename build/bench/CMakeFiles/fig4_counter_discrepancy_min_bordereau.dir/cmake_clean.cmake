@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_counter_discrepancy_min_bordereau.dir/fig4_counter_discrepancy_min_bordereau.cpp.o"
+  "CMakeFiles/fig4_counter_discrepancy_min_bordereau.dir/fig4_counter_discrepancy_min_bordereau.cpp.o.d"
+  "fig4_counter_discrepancy_min_bordereau"
+  "fig4_counter_discrepancy_min_bordereau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_counter_discrepancy_min_bordereau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

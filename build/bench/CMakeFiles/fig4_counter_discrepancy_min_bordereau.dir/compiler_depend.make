@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_counter_discrepancy_min_bordereau.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_counter_discrepancy_min_graphene.dir/fig5_counter_discrepancy_min_graphene.cpp.o"
+  "CMakeFiles/fig5_counter_discrepancy_min_graphene.dir/fig5_counter_discrepancy_min_graphene.cpp.o.d"
+  "fig5_counter_discrepancy_min_graphene"
+  "fig5_counter_discrepancy_min_graphene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_counter_discrepancy_min_graphene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

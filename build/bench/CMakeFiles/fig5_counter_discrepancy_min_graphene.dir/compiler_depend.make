@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_counter_discrepancy_min_graphene.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_accuracy_new_bordereau.dir/fig6_accuracy_new_bordereau.cpp.o"
+  "CMakeFiles/fig6_accuracy_new_bordereau.dir/fig6_accuracy_new_bordereau.cpp.o.d"
+  "fig6_accuracy_new_bordereau"
+  "fig6_accuracy_new_bordereau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_accuracy_new_bordereau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_accuracy_new_bordereau.
+# This may be replaced when dependencies are built.

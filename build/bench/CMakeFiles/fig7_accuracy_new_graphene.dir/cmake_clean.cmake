@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_accuracy_new_graphene.dir/fig7_accuracy_new_graphene.cpp.o"
+  "CMakeFiles/fig7_accuracy_new_graphene.dir/fig7_accuracy_new_graphene.cpp.o.d"
+  "fig7_accuracy_new_graphene"
+  "fig7_accuracy_new_graphene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accuracy_new_graphene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_overhead_bordereau.cpp" "bench/CMakeFiles/table1_overhead_bordereau.dir/table1_overhead_bordereau.cpp.o" "gcc" "bench/CMakeFiles/table1_overhead_bordereau.dir/table1_overhead_bordereau.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/tir_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tir_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwc/CMakeFiles/tir_hwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/tir_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/smpi/CMakeFiles/tir_smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tir_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/tit/CMakeFiles/tir_tit.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tir_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

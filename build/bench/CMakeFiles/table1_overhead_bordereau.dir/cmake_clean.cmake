@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_overhead_bordereau.dir/table1_overhead_bordereau.cpp.o"
+  "CMakeFiles/table1_overhead_bordereau.dir/table1_overhead_bordereau.cpp.o.d"
+  "table1_overhead_bordereau"
+  "table1_overhead_bordereau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_overhead_bordereau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

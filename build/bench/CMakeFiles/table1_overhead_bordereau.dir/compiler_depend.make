@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_overhead_bordereau.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_overhead_graphene.dir/table2_overhead_graphene.cpp.o"
+  "CMakeFiles/table2_overhead_graphene.dir/table2_overhead_graphene.cpp.o.d"
+  "table2_overhead_graphene"
+  "table2_overhead_graphene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_overhead_graphene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

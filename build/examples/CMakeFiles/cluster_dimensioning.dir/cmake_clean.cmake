@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_dimensioning.dir/cluster_dimensioning.cpp.o"
+  "CMakeFiles/cluster_dimensioning.dir/cluster_dimensioning.cpp.o.d"
+  "cluster_dimensioning"
+  "cluster_dimensioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_dimensioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lu_prediction.dir/lu_prediction.cpp.o"
+  "CMakeFiles/lu_prediction.dir/lu_prediction.cpp.o.d"
+  "lu_prediction"
+  "lu_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lu_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_cli.dir/replay_cli.cpp.o"
+  "CMakeFiles/replay_cli.dir/replay_cli.cpp.o.d"
+  "replay_cli"
+  "replay_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_acquisition.dir/trace_acquisition.cpp.o"
+  "CMakeFiles/trace_acquisition.dir/trace_acquisition.cpp.o.d"
+  "trace_acquisition"
+  "trace_acquisition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_acquisition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

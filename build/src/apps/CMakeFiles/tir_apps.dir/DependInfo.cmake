@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/tir_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/tir_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "src/apps/CMakeFiles/tir_apps.dir/ep.cpp.o" "gcc" "src/apps/CMakeFiles/tir_apps.dir/ep.cpp.o.d"
+  "/root/repo/src/apps/jacobi.cpp" "src/apps/CMakeFiles/tir_apps.dir/jacobi.cpp.o" "gcc" "src/apps/CMakeFiles/tir_apps.dir/jacobi.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/tir_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/tir_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/run.cpp" "src/apps/CMakeFiles/tir_apps.dir/run.cpp.o" "gcc" "src/apps/CMakeFiles/tir_apps.dir/run.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smpi/CMakeFiles/tir_smpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwc/CMakeFiles/tir_hwc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tit/CMakeFiles/tir_tit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/tir_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tir_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_apps.dir/cg.cpp.o"
+  "CMakeFiles/tir_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/tir_apps.dir/ep.cpp.o"
+  "CMakeFiles/tir_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/tir_apps.dir/jacobi.cpp.o"
+  "CMakeFiles/tir_apps.dir/jacobi.cpp.o.d"
+  "CMakeFiles/tir_apps.dir/lu.cpp.o"
+  "CMakeFiles/tir_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/tir_apps.dir/run.cpp.o"
+  "CMakeFiles/tir_apps.dir/run.cpp.o.d"
+  "libtir_apps.a"
+  "libtir_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

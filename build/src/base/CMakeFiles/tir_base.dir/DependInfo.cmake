@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/log.cpp" "src/base/CMakeFiles/tir_base.dir/log.cpp.o" "gcc" "src/base/CMakeFiles/tir_base.dir/log.cpp.o.d"
+  "/root/repo/src/base/stats.cpp" "src/base/CMakeFiles/tir_base.dir/stats.cpp.o" "gcc" "src/base/CMakeFiles/tir_base.dir/stats.cpp.o.d"
+  "/root/repo/src/base/string_util.cpp" "src/base/CMakeFiles/tir_base.dir/string_util.cpp.o" "gcc" "src/base/CMakeFiles/tir_base.dir/string_util.cpp.o.d"
+  "/root/repo/src/base/units.cpp" "src/base/CMakeFiles/tir_base.dir/units.cpp.o" "gcc" "src/base/CMakeFiles/tir_base.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

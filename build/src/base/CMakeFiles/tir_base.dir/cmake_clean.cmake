@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_base.dir/log.cpp.o"
+  "CMakeFiles/tir_base.dir/log.cpp.o.d"
+  "CMakeFiles/tir_base.dir/stats.cpp.o"
+  "CMakeFiles/tir_base.dir/stats.cpp.o.d"
+  "CMakeFiles/tir_base.dir/string_util.cpp.o"
+  "CMakeFiles/tir_base.dir/string_util.cpp.o.d"
+  "CMakeFiles/tir_base.dir/units.cpp.o"
+  "CMakeFiles/tir_base.dir/units.cpp.o.d"
+  "libtir_base.a"
+  "libtir_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

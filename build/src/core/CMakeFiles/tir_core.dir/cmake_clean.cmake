@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_core.dir/calibration.cpp.o"
+  "CMakeFiles/tir_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/tir_core.dir/predictor.cpp.o"
+  "CMakeFiles/tir_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/tir_core.dir/replay_msg.cpp.o"
+  "CMakeFiles/tir_core.dir/replay_msg.cpp.o.d"
+  "CMakeFiles/tir_core.dir/replay_smpi.cpp.o"
+  "CMakeFiles/tir_core.dir/replay_smpi.cpp.o.d"
+  "libtir_core.a"
+  "libtir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_exp.dir/experiments.cpp.o"
+  "CMakeFiles/tir_exp.dir/experiments.cpp.o.d"
+  "libtir_exp.a"
+  "libtir_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

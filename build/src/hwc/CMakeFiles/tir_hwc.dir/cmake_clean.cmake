@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_hwc.dir/instrument.cpp.o"
+  "CMakeFiles/tir_hwc.dir/instrument.cpp.o.d"
+  "libtir_hwc.a"
+  "libtir_hwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_hwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_msg.dir/msg.cpp.o"
+  "CMakeFiles/tir_msg.dir/msg.cpp.o.d"
+  "libtir_msg.a"
+  "libtir_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

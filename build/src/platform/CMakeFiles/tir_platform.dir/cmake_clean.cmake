@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_platform.dir/clusters.cpp.o"
+  "CMakeFiles/tir_platform.dir/clusters.cpp.o.d"
+  "CMakeFiles/tir_platform.dir/parse.cpp.o"
+  "CMakeFiles/tir_platform.dir/parse.cpp.o.d"
+  "CMakeFiles/tir_platform.dir/platform.cpp.o"
+  "CMakeFiles/tir_platform.dir/platform.cpp.o.d"
+  "libtir_platform.a"
+  "libtir_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

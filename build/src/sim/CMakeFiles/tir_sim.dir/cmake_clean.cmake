@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_sim.dir/engine.cpp.o"
+  "CMakeFiles/tir_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tir_sim.dir/maxmin.cpp.o"
+  "CMakeFiles/tir_sim.dir/maxmin.cpp.o.d"
+  "libtir_sim.a"
+  "libtir_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_smpi.dir/collectives.cpp.o"
+  "CMakeFiles/tir_smpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/tir_smpi.dir/world.cpp.o"
+  "CMakeFiles/tir_smpi.dir/world.cpp.o.d"
+  "libtir_smpi.a"
+  "libtir_smpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_smpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tir_tit.dir/trace.cpp.o"
+  "CMakeFiles/tir_tit.dir/trace.cpp.o.d"
+  "libtir_tit.a"
+  "libtir_tit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tir_tit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtir_tit.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base.dir/base/rng_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/rng_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/stats_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/stats_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/string_util_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/string_util_test.cpp.o.d"
+  "CMakeFiles/test_base.dir/base/units_test.cpp.o"
+  "CMakeFiles/test_base.dir/base/units_test.cpp.o.d"
+  "test_base"
+  "test_base.pdb"
+  "test_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

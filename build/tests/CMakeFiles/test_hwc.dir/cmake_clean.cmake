@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwc.dir/hwc/instrument_test.cpp.o"
+  "CMakeFiles/test_hwc.dir/hwc/instrument_test.cpp.o.d"
+  "test_hwc"
+  "test_hwc.pdb"
+  "test_hwc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smpi.dir/smpi/collectives_test.cpp.o"
+  "CMakeFiles/test_smpi.dir/smpi/collectives_test.cpp.o.d"
+  "CMakeFiles/test_smpi.dir/smpi/p2p_test.cpp.o"
+  "CMakeFiles/test_smpi.dir/smpi/p2p_test.cpp.o.d"
+  "test_smpi"
+  "test_smpi.pdb"
+  "test_smpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tit.dir/tit/trace_test.cpp.o"
+  "CMakeFiles/test_tit.dir/tit/trace_test.cpp.o.d"
+  "test_tit"
+  "test_tit.pdb"
+  "test_tit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
