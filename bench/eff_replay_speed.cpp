@@ -5,9 +5,26 @@
 // LU traces of growing size and reports host-side wall-clock, simulated
 // time, actions/s, and the speedup over the (simulated) real execution.
 // One full-length (250-iteration) B-8 replay anchors the comparison.
+//
+// A second table compares the two trace I/O paths end to end: text manifest
+// parsed into memory then replayed, versus the TITB binary format streamed
+// straight into the engine with a bounded buffer.  Reported per path:
+// parse+replay wall-clock, actions/s, on-disk size, and peak RSS (Linux).
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
+
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "exp/experiments.hpp"
+#include "tit/trace.hpp"
+#include "titio/reader.hpp"
+#include "titio/writer.hpp"
 
 using namespace tir;
 
@@ -41,6 +58,120 @@ void run_case(const exp::ClusterSetup& cluster, char cls, int np, int iters,
   std::fflush(stdout);
 }
 
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct Phase {
+  double seconds = 0;
+  double sim_time = 0;
+  long peak_rss_kib = -1;
+};
+
+// Run one I/O phase and measure its true peak RSS.  On Linux each phase
+// runs in a forked child (so phases cannot inflate each other's high-water
+// mark through allocator retention) and the peak comes from wait4's
+// ru_maxrss; elsewhere it runs inline and the peak is reported as -1.
+template <class Fn>
+Phase run_phase(Fn fn) {
+  Phase result;
+#if defined(__linux__)
+  int fds[2];
+  if (pipe(fds) == 0) {
+    const auto start = std::chrono::steady_clock::now();
+    const pid_t pid = fork();
+    if (pid == 0) {
+      close(fds[0]);
+      const double sim = fn();
+      const bool ok = write(fds[1], &sim, sizeof sim) == sizeof sim;
+      _exit(ok ? 0 : 1);
+    }
+    if (pid > 0) {
+      close(fds[1]);
+      double sim = 0;
+      const bool got = read(fds[0], &sim, sizeof sim) == sizeof sim;
+      close(fds[0]);
+      struct rusage usage {};
+      int status = 0;
+      wait4(pid, &status, 0, &usage);
+      result.seconds = seconds_since(start);
+      result.sim_time = got ? sim : -1;
+      result.peak_rss_kib = usage.ru_maxrss;
+      return result;
+    }
+    close(fds[0]);
+    close(fds[1]);
+  }
+#endif
+  const auto start = std::chrono::steady_clock::now();
+  result.sim_time = fn();
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+std::uintmax_t tree_bytes(const std::filesystem::path& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& e : std::filesystem::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file()) total += e.file_size();
+  }
+  return total;
+}
+
+void run_streaming_case(const exp::ClusterSetup& cluster, char cls, int np, int iters) {
+  namespace fs = std::filesystem;
+  apps::LuConfig lu;
+  lu.cls = apps::nas_class(cls);
+  lu.nprocs = np;
+  lu.iterations_override = iters;
+
+  const fs::path dir = fs::temp_directory_path() / "tir_eff_stream";
+  fs::remove_all(dir);
+  const fs::path binary = dir / "bench.titb";
+  std::string manifest;
+  double actions = 0;
+  {
+    // Generate and write both encodings, then drop the in-memory trace so
+    // it does not sit in the RSS baseline both phases inherit.
+    const apps::MachineModel machine(cluster.truth);
+    apps::AcquisitionConfig acq;
+    acq.granularity = hwc::Granularity::Minimal;
+    acq.compiler = hwc::kO3;
+    acq.emit_trace = true;
+    const apps::RunResult traced = apps::run_lu(lu, cluster.platform, machine, acq);
+    actions = static_cast<double>(traced.trace.total_actions());
+    manifest = tit::write_trace(traced.trace, dir.string(), "bench");
+    titio::write_binary_trace(traced.trace, binary.string());
+  }
+  const double text_mib = static_cast<double>(tree_bytes(dir) - fs::file_size(binary)) / (1 << 20);
+  const double bin_mib = static_cast<double>(fs::file_size(binary)) / (1 << 20);
+
+  core::ReplayConfig cfg;
+  cfg.rates = {cluster.truth.rate_in_cache};
+
+  // Text path: parse the whole manifest into memory, then replay.
+  const Phase text = run_phase([&] {
+    const tit::Trace loaded = tit::load_trace(manifest);
+    return core::replay_msg(loaded, cluster.platform, cfg).simulated_time;
+  });
+  // Binary path: stream frames through a bounded 4 MiB buffer.
+  const Phase bin = run_phase([&] {
+    titio::Reader reader(binary.string(), titio::ReaderOptions{4u << 20});
+    return core::replay_msg(reader, cluster.platform, cfg).simulated_time;
+  });
+
+  // TITB preserves exact volume bits while the text renderer rounds
+  // fractional volumes at %.6g, so the two simulated times may deviate in
+  // the far decimals; report that deviation rather than hide it.
+  const double dev = std::abs(text.sim_time - bin.sim_time) / std::max(bin.sim_time, 1e-300);
+  std::printf("%-6s %5d %9.0f | text %7.2f MiB %7.3fs %8.0f a/s %8ld KiB"
+              " | titb %7.2f MiB %7.3fs %8.0f a/s %8ld KiB | dev %.1e\n",
+              lu.label().c_str(), np, actions, text_mib, text.seconds,
+              actions / std::max(text.seconds, 1e-9), text.peak_rss_kib, bin_mib, bin.seconds,
+              actions / std::max(bin.seconds, 1e-9), bin.peak_rss_kib, dev);
+  std::fflush(stdout);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 
 int main() {
@@ -55,5 +186,12 @@ int main() {
   run_case(bd, 'B', 64, 25, "");
   run_case(bd, 'C', 64, 10, "");
   run_case(bd, 'B', 8, 250, "(full-length NPB run)");
+
+  std::printf("\nTrace I/O paths: text-parse-then-replay vs. binary streaming replay\n");
+  std::printf("(parse+replay wall-clock; peak RSS per forked phase on Linux, -1 elsewhere;\n");
+  std::printf(" dev = relative simulated-time deviation from %%.6g rounding in the text form)\n");
+  run_streaming_case(bd, 'B', 8, 25);
+  run_streaming_case(bd, 'B', 32, 25);
+  run_streaming_case(bd, 'B', 8, 250);
   return 0;
 }

@@ -1,83 +1,131 @@
-// trace_inspect: summarize a Time-Independent Trace from its manifest.
+// trace_inspect: summarize a Time-Independent Trace.
 //
-//   $ ./trace_inspect trace.manifest [nprocs]
+//   $ ./trace_inspect trace.manifest [nprocs]     (text, via its manifest)
+//   $ ./trace_inspect trace.titb                  (TITB binary, auto-detected)
 //
 // Prints the aggregate volumes, a per-rank breakdown and a message-size
 // histogram with the 64 KiB eager threshold marked - the quantity the whole
 // paper turns on (how much of the traffic rides the eager path decides how
-// much the back-end choice matters).
+// much the back-end choice matters).  Binary traces are streamed a frame at
+// a time (never materialized) and every frame CRC is checked.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "base/error.hpp"
 #include "base/units.hpp"
 #include "tit/trace.hpp"
+#include "titio/reader.hpp"
+
+namespace {
+
+using namespace tir;
+
+struct RankSummary {
+  std::size_t actions = 0;
+  double instructions = 0.0;
+  std::size_t messages = 0;
+  double bytes_sent = 0.0;
+};
+
+struct Summary {
+  tit::TraceStats total;
+  std::vector<RankSummary> ranks;
+  std::vector<std::size_t> histogram = std::vector<std::size_t>(28, 0);
+
+  void add(const tit::Action& a) {
+    tit::add_to_stats(total, a);
+    RankSummary& r = ranks[static_cast<std::size_t>(a.proc)];
+    ++r.actions;
+    if (a.type == tit::ActionType::Compute) r.instructions += a.volume;
+    if (a.type == tit::ActionType::Send || a.type == tit::ActionType::Isend) {
+      ++r.messages;
+      r.bytes_sent += a.volume;
+      int bucket = 0;
+      while ((1u << bucket) < a.volume && bucket < 27) ++bucket;
+      ++histogram[static_cast<std::size_t>(bucket)];
+    }
+  }
+};
+
+void print_summary(const Summary& s) {
+  std::printf("actions  : %zu (%zu computes, %zu p2p, %zu collectives)\n", s.total.actions,
+              s.total.computes, s.total.p2p_messages, s.total.collectives);
+  std::printf("compute  : %.3e instructions\n", s.total.compute_instructions);
+  std::printf("traffic  : %s in p2p messages, %.1f%% of them eager (<64 KiB)\n",
+              units::format_bytes(s.total.p2p_bytes).c_str(),
+              s.total.p2p_messages > 0 ? 100.0 * s.total.eager_messages / s.total.p2p_messages
+                                       : 0.0);
+
+  std::printf("\nper-rank breakdown:\n");
+  std::printf("%6s %10s %12s %10s %14s\n", "rank", "actions", "instructions", "messages",
+              "bytes sent");
+  for (std::size_t r = 0; r < s.ranks.size(); ++r) {
+    std::printf("%6zu %10zu %12.3e %10zu %14s\n", r, s.ranks[r].actions,
+                s.ranks[r].instructions, s.ranks[r].messages,
+                units::format_bytes(s.ranks[r].bytes_sent).c_str());
+  }
+
+  const std::size_t peak = *std::max_element(s.histogram.begin(), s.histogram.end());
+  if (peak > 0) {
+    std::printf("\nmessage sizes (count per power-of-two bucket):\n");
+    for (std::size_t b = 0; b < s.histogram.size(); ++b) {
+      if (s.histogram[b] == 0) continue;
+      const int bar = static_cast<int>(40.0 * s.histogram[b] / peak);
+      std::printf("%10s |%-40.*s| %zu%s\n",
+                  units::format_bytes(static_cast<double>(1u << b)).c_str(), bar,
+                  "########################################", s.histogram[b],
+                  (1u << b) >= 65536 ? "  [rendezvous]" : "");
+    }
+  }
+}
+
+int inspect_binary(const std::string& path) {
+  titio::Reader reader(path);
+  std::printf("trace    : %s (TITB binary, %zu frames)\n", path.c_str(),
+              reader.frame_count());
+  std::printf("processes: %d\n", reader.nprocs());
+
+  Summary s;
+  s.ranks.resize(static_cast<std::size_t>(reader.nprocs()));
+  tit::Action a;
+  for (int r = 0; r < reader.nprocs(); ++r) {
+    while (reader.next(r, a)) s.add(a);
+  }
+  print_summary(s);
+
+  titio::Reader(path).verify();
+  std::printf("\nintegrity: all %zu frame CRCs ok\n", reader.frame_count());
+  return 0;
+}
+
+int inspect_text(const std::string& path, int np) {
+  const tit::Trace trace = tit::load_trace(path, np);
+  tit::validate(trace);
+  std::printf("trace    : %s\n", path.c_str());
+  std::printf("processes: %d\n", trace.nprocs());
+
+  Summary s;
+  s.ranks.resize(static_cast<std::size_t>(trace.nprocs()));
+  for (int r = 0; r < trace.nprocs(); ++r) {
+    for (const tit::Action& a : trace.actions(r)) s.add(a);
+  }
+  print_summary(s);
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace tir;
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s TRACE_MANIFEST [NPROCS]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s TRACE_MANIFEST|TRACE.titb [NPROCS]\n", argv[0]);
     return 2;
   }
   try {
-    const int np = argc > 2 ? std::atoi(argv[2]) : -1;
-    const tit::Trace trace = tit::load_trace(argv[1], np);
-    tit::validate(trace);
-    const tit::TraceStats total = tit::stats(trace);
-
-    std::printf("trace    : %s\n", argv[1]);
-    std::printf("processes: %d\n", trace.nprocs());
-    std::printf("actions  : %zu (%zu computes, %zu p2p, %zu collectives)\n", total.actions,
-                total.computes, total.p2p_messages, total.collectives);
-    std::printf("compute  : %.3e instructions\n", total.compute_instructions);
-    std::printf("traffic  : %s in p2p messages, %.1f%% of them eager (<64 KiB)\n",
-                units::format_bytes(total.p2p_bytes).c_str(),
-                total.p2p_messages > 0 ? 100.0 * total.eager_messages / total.p2p_messages
-                                       : 0.0);
-
-    std::printf("\nper-rank breakdown:\n");
-    std::printf("%6s %10s %12s %10s %14s\n", "rank", "actions", "instructions", "messages",
-                "bytes sent");
-    for (int r = 0; r < trace.nprocs(); ++r) {
-      double instr = 0.0;
-      double bytes = 0.0;
-      std::size_t msgs = 0;
-      for (const tit::Action& a : trace.actions(r)) {
-        if (a.type == tit::ActionType::Compute) instr += a.volume;
-        if (a.type == tit::ActionType::Send || a.type == tit::ActionType::Isend) {
-          ++msgs;
-          bytes += a.volume;
-        }
-      }
-      std::printf("%6d %10zu %12.3e %10zu %14s\n", r, trace.actions(r).size(), instr, msgs,
-                  units::format_bytes(bytes).c_str());
-    }
-
-    // Message-size histogram (powers of two), eager threshold marked.
-    std::vector<std::size_t> histogram(28, 0);
-    for (int r = 0; r < trace.nprocs(); ++r) {
-      for (const tit::Action& a : trace.actions(r)) {
-        if (a.type != tit::ActionType::Send && a.type != tit::ActionType::Isend) continue;
-        int bucket = 0;
-        while ((1u << bucket) < a.volume && bucket < 27) ++bucket;
-        ++histogram[static_cast<std::size_t>(bucket)];
-      }
-    }
-    const std::size_t peak = *std::max_element(histogram.begin(), histogram.end());
-    if (peak > 0) {
-      std::printf("\nmessage sizes (count per power-of-two bucket):\n");
-      for (std::size_t b = 0; b < histogram.size(); ++b) {
-        if (histogram[b] == 0) continue;
-        const int bar = static_cast<int>(40.0 * histogram[b] / peak);
-        std::printf("%10s |%-40.*s| %zu%s\n",
-                    units::format_bytes(static_cast<double>(1u << b)).c_str(), bar,
-                    "########################################", histogram[b],
-                    (1u << b) >= 65536 ? "  [rendezvous]" : "");
-      }
-    }
-    return 0;
+    if (titio::is_binary_trace(argv[1])) return inspect_binary(argv[1]);
+    return inspect_text(argv[1], argc > 2 ? std::atoi(argv[2]) : -1);
   } catch (const Error& e) {
     std::fprintf(stderr, "trace_inspect: %s\n", e.what());
     return 1;

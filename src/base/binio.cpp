@@ -1,0 +1,61 @@
+#include "base/binio.hpp"
+
+#include <array>
+
+#include "base/error.hpp"
+
+namespace tir::binio {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_varint_signed(std::vector<std::uint8_t>& out, std::int64_t v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  put_varint(out, (u << 1) ^ static_cast<std::uint64_t>(v >> 63));
+}
+
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= size) throw ParseError("truncated varint");
+    const std::uint8_t byte = data[pos++];
+    v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if (!(byte & 0x80u)) return v;
+  }
+  throw ParseError("overlong varint");
+}
+
+std::int64_t get_varint_signed(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+  const std::uint64_t u = get_varint(data, size, pos);
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) c = kCrcTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tir::binio

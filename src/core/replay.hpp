@@ -27,6 +27,7 @@
 #include "sim/engine.hpp"
 #include "smpi/config.hpp"
 #include "tit/trace.hpp"
+#include "titio/source.hpp"
 
 namespace tir::core {
 
@@ -51,11 +52,20 @@ struct ReplayResult {
   double wall_clock_seconds = 0.0;   ///< replay efficiency (host time)
 };
 
-/// New SMPI-based replay (the paper's improved framework).
-ReplayResult replay_smpi(const tit::Trace& trace, const platform::Platform& platform,
+/// New SMPI-based replay (the paper's improved framework). The engines pull
+/// actions on demand through an ActionSource, so replay memory is bounded
+/// by the source (a streaming titio::Reader never materializes the trace).
+ReplayResult replay_smpi(titio::ActionSource& source, const platform::Platform& platform,
                          const ReplayConfig& config);
 
 /// Old MSG-based replay (the paper's first prototype, kept as the baseline).
+ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& platform,
+                        const ReplayConfig& config);
+
+/// Materialized-trace convenience overloads (the original API): wrap the
+/// trace in a MemorySource and stream from RAM.
+ReplayResult replay_smpi(const tit::Trace& trace, const platform::Platform& platform,
+                         const ReplayConfig& config);
 ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platform,
                         const ReplayConfig& config);
 

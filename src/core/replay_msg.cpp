@@ -65,13 +65,14 @@ sim::Coro monolithic(sim::Ctx& ctx, OldReplayShared& shared, double delay) {
   if (delay > 0.0) co_await ctx.sleep(delay);
 }
 
-sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, const tit::Trace& trace,
+sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
                           OldReplayShared& shared, const ReplayConfig& config,
                           std::uint64_t& actions) {
   const double rate = config.rate_for(me);
   const int n = shared.nprocs;
   std::deque<msg::Request> outstanding;
-  for (const tit::Action& a : trace.actions(me)) {
+  tit::Action a;
+  while (source.next(me, a)) {
     ++actions;
     switch (a.type) {
       case tit::ActionType::Init:
@@ -141,11 +142,11 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, const tit::Trace& trace,
 
 }  // namespace
 
-ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platform,
+ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& platform,
                         const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   sim::Engine engine(platform, sim::EngineConfig{config.sharing});
-  OldReplayShared shared(engine, trace.nprocs());
+  OldReplayShared shared(engine, source.nprocs());
 
   // Analytic model parameters from a representative host pair.
   if (platform.host_count() >= 2) {
@@ -160,11 +161,11 @@ ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platf
   }
 
   ReplayResult result;
-  for (int r = 0; r < trace.nprocs(); ++r) {
+  for (int r = 0; r < source.nprocs(); ++r) {
     const platform::HostId host =
         static_cast<platform::HostId>(r % static_cast<int>(platform.host_count()));
     engine.spawn("rank" + std::to_string(r), host, 0, [&, r](sim::Ctx& ctx) -> sim::Coro {
-      return replay_rank_msg(ctx, r, trace, shared, config, result.actions_replayed);
+      return replay_rank_msg(ctx, r, source, shared, config, result.actions_replayed);
     });
   }
   engine.run();
@@ -173,6 +174,12 @@ ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platf
   result.wall_clock_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
+}
+
+ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platform,
+                        const ReplayConfig& config) {
+  titio::MemorySource source(trace);
+  return replay_msg(source, platform, config);
 }
 
 }  // namespace tir::core

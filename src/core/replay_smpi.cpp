@@ -12,11 +12,13 @@ namespace tir::core {
 
 namespace {
 
-sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, const tit::Trace& trace, smpi::World& world,
-                           const ReplayConfig& config, std::uint64_t& actions) {
+sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
+                           smpi::World& world, const ReplayConfig& config,
+                           std::uint64_t& actions) {
   const double rate = config.rate_for(me);
   std::deque<smpi::Request> outstanding;  // nonblocking ops in issue order
-  for (const tit::Action& a : trace.actions(me)) {
+  tit::Action a;
+  while (source.next(me, a)) {
     ++actions;
     switch (a.type) {
       case tit::ActionType::Init:
@@ -82,15 +84,15 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, const tit::Trace& trace, smpi:
 
 }  // namespace
 
-ReplayResult replay_smpi(const tit::Trace& trace, const platform::Platform& platform,
+ReplayResult replay_smpi(titio::ActionSource& source, const platform::Platform& platform,
                          const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   sim::Engine engine(platform, sim::EngineConfig{config.sharing});
-  smpi::World world(engine, config.mpi, smpi::World::scatter_hosts(platform, trace.nprocs()),
-                    std::vector<int>(static_cast<std::size_t>(trace.nprocs()), 0));
+  smpi::World world(engine, config.mpi, smpi::World::scatter_hosts(platform, source.nprocs()),
+                    std::vector<int>(static_cast<std::size_t>(source.nprocs()), 0));
   ReplayResult result;
   world.spawn_ranks([&](sim::Ctx& ctx, int me) -> sim::Coro {
-    return replay_rank_smpi(ctx, me, trace, world, config, result.actions_replayed);
+    return replay_rank_smpi(ctx, me, source, world, config, result.actions_replayed);
   });
   engine.run();
   result.simulated_time = engine.now();
@@ -98,6 +100,12 @@ ReplayResult replay_smpi(const tit::Trace& trace, const platform::Platform& plat
   result.wall_clock_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
+}
+
+ReplayResult replay_smpi(const tit::Trace& trace, const platform::Platform& platform,
+                         const ReplayConfig& config) {
+  titio::MemorySource source(trace);
+  return replay_smpi(source, platform, config);
 }
 
 }  // namespace tir::core

@@ -117,7 +117,8 @@ Platform parse_platform(std::istream& in) {
       }
       const Fields f(tokens, 3, line);
       std::vector<LinkId> links;
-      for (const auto name : str::split(f.get("links"), ',')) {
+      const std::string link_list = f.get("links");  // split() views into this
+      for (const auto name : str::split(link_list, ',')) {
         const auto it = link_names.find(std::string(name));
         if (it == link_names.end()) {
           throw ParseError("line " + std::to_string(line) + ": unknown link '" +

@@ -1,9 +1,11 @@
 #include "tit/trace.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -21,13 +23,22 @@ std::int32_t parse_rank(std::string_view token, std::string_view line) {
   if (!token.empty() && (token.front() == 'p' || token.front() == 'P')) {
     token.remove_prefix(1);
   }
+  // to_u64 rejects a leading '-', so negative ranks fail here with context.
   const auto value = str::to_u64(token, "rank in '" + std::string(line) + "'");
+  if (value > static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw ParseError("rank " + std::string(token) + " out of range in '" + std::string(line) +
+                     "'");
+  }
   return static_cast<std::int32_t>(value);
 }
 
 double parse_volume(std::string_view token, std::string_view line) {
   const double v = str::to_double(token, "volume in '" + std::string(line) + "'");
+  // NaN fails both comparisons below on its own; check it explicitly so the
+  // message names the actual problem.
+  if (std::isnan(v)) throw ParseError("NaN volume in '" + std::string(line) + "'");
   if (v < 0.0) throw ParseError("negative volume in '" + std::string(line) + "'");
+  if (!std::isfinite(v)) throw ParseError("non-finite volume in '" + std::string(line) + "'");
   return v;
 }
 
@@ -208,36 +219,38 @@ std::size_t Trace::total_actions() const {
   return n;
 }
 
+void add_to_stats(TraceStats& s, const Action& a) {
+  ++s.actions;
+  switch (a.type) {
+    case ActionType::Compute:
+      ++s.computes;
+      s.compute_instructions += a.volume;
+      break;
+    case ActionType::Send:
+    case ActionType::Isend:
+      ++s.p2p_messages;
+      s.p2p_bytes += a.volume;
+      if (a.volume < kEagerThreshold) s.eager_messages += 1.0;
+      break;
+    case ActionType::Barrier:
+    case ActionType::Bcast:
+    case ActionType::Reduce:
+    case ActionType::AllReduce:
+    case ActionType::AllToAll:
+    case ActionType::AllGather:
+    case ActionType::Gather:
+    case ActionType::Scatter:
+      ++s.collectives;
+      break;
+    default:
+      break;
+  }
+}
+
 TraceStats stats(const Trace& trace) {
   TraceStats s;
   for (int p = 0; p < trace.nprocs(); ++p) {
-    for (const Action& a : trace.actions(p)) {
-      ++s.actions;
-      switch (a.type) {
-        case ActionType::Compute:
-          ++s.computes;
-          s.compute_instructions += a.volume;
-          break;
-        case ActionType::Send:
-        case ActionType::Isend:
-          ++s.p2p_messages;
-          s.p2p_bytes += a.volume;
-          if (a.volume < kEagerThreshold) s.eager_messages += 1.0;
-          break;
-        case ActionType::Barrier:
-        case ActionType::Bcast:
-        case ActionType::Reduce:
-        case ActionType::AllReduce:
-        case ActionType::AllToAll:
-        case ActionType::AllGather:
-        case ActionType::Gather:
-        case ActionType::Scatter:
-          ++s.collectives;
-          break;
-        default:
-          break;
-      }
-    }
+    for (const Action& a : trace.actions(p)) add_to_stats(s, a);
   }
   return s;
 }
@@ -282,8 +295,7 @@ std::string write_trace(const Trace& trace, const std::string& dir,
   return manifest_path;
 }
 
-Trace load_trace(const std::string& manifest_path, int nprocs) {
-  namespace fs = std::filesystem;
+std::vector<std::string> read_manifest(const std::string& manifest_path) {
   std::ifstream manifest(manifest_path);
   if (!manifest) throw Error("cannot open manifest: " + manifest_path);
   std::vector<std::string> files;
@@ -293,6 +305,12 @@ Trace load_trace(const std::string& manifest_path, int nprocs) {
     if (!trimmed.empty()) files.emplace_back(trimmed);
   }
   if (files.empty()) throw Error("empty manifest: " + manifest_path);
+  return files;
+}
+
+Trace load_trace(const std::string& manifest_path, int nprocs) {
+  namespace fs = std::filesystem;
+  const std::vector<std::string> files = read_manifest(manifest_path);
   const fs::path base_dir = fs::path(manifest_path).parent_path();
 
   const bool shared = files.size() == 1;

@@ -43,6 +43,10 @@ struct TraceStats {
 
 TraceStats stats(const Trace& trace);
 
+/// Fold one action into running totals: the streaming-friendly building
+/// block of stats(), usable without a materialized Trace.
+void add_to_stats(TraceStats& s, const Action& a);
+
 /// Parse one trace line. Ranks may be written "p3" or "3".
 /// Throws ParseError with the offending text.
 Action parse_line(std::string_view line);
@@ -60,6 +64,10 @@ std::string write_trace(const Trace& trace, const std::string& dir,
 /// Load a trace back through its manifest. A single-entry manifest means all
 /// ranks share one file (paper §3.3); `nprocs` must then be given explicitly.
 Trace load_trace(const std::string& manifest_path, int nprocs = -1);
+
+/// Read a manifest: the listed trace file names (relative to the manifest's
+/// directory), blank lines skipped. Throws on unreadable/empty manifests.
+std::vector<std::string> read_manifest(const std::string& manifest_path);
 
 /// Structural validation: every send has a matching recv (per ordered pair),
 /// partners in range, init/finalize discipline. Throws tir::Error describing

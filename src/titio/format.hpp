@@ -1,0 +1,75 @@
+// The TITB binary Time-Independent Trace format, version 1.
+//
+// Layout (all fixed-width integers little-endian):
+//
+//   File        := Header ActionFrame* IndexFrame Footer
+//   Header      := magic u32 ("TITB")  version u16  flags u16  nprocs u32
+//   ActionFrame := 'A' u8  rank varint  action_count varint
+//                  payload_size varint  payload  crc32(payload) u32
+//   IndexFrame  := 'I' u8  entry_count varint  entry_count varint
+//                  payload_size varint  payload  crc32(payload) u32
+//   Footer      := index_offset u64  total_actions u64  end magic u32 ("TITE")
+//
+// An action-frame payload is a run of actions of ONE rank, so the issuing
+// rank is stored once per frame rather than once per action.  Each index
+// payload entry is (rank varint, start-offset delta varint, action_count
+// varint, payload_size varint) for one action frame, in file order: a
+// reader seeks the footer, loads the single index frame, and from then on
+// needs only one frame per rank in memory at a time.  Every frame payload
+// is CRC-32 protected, so truncation and bit rot are detected per frame,
+// not discovered as garbage actions.
+//
+// Action encoding inside a payload (docs/trace_format.md has the rationale):
+//
+//   action := type u8  flags u8  [partner varint]  [volume]  [volume2]
+//
+// Volumes are almost always integral counts (instructions, bytes), so they
+// ship as varints; the flag bits switch to a raw 8-byte double for the rare
+// fractional/huge value and elide absent fields entirely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tit/action.hpp"
+
+namespace tir::titio {
+
+inline constexpr std::uint32_t kMagic = 0x42544954u;     ///< "TITB" as LE bytes
+inline constexpr std::uint32_t kEndMagic = 0x45544954u;  ///< "TITE" as LE bytes
+inline constexpr std::uint16_t kVersion = 1;
+
+inline constexpr std::uint8_t kActionFrame = 'A';
+inline constexpr std::uint8_t kIndexFrame = 'I';
+
+inline constexpr std::size_t kHeaderBytes = 12;
+inline constexpr std::size_t kFooterBytes = 20;
+/// Upper bound of an encoded frame preamble: kind + three worst-case varints.
+inline constexpr std::size_t kMaxFramePreamble = 1 + 3 * 10;
+
+/// Action flag bits.
+inline constexpr std::uint8_t kHasPartner = 1u << 0;  ///< partner varint follows
+inline constexpr std::uint8_t kHasVolume = 1u << 1;   ///< volume field follows
+inline constexpr std::uint8_t kVolumeF64 = 1u << 2;   ///< volume is a raw LE double
+inline constexpr std::uint8_t kVolumeNone = 1u << 3;  ///< volume = tit::kNoVolume
+inline constexpr std::uint8_t kHasVolume2 = 1u << 4;  ///< volume2 field follows
+inline constexpr std::uint8_t kVolume2F64 = 1u << 5;  ///< volume2 is a raw LE double
+
+/// One action frame as recorded in the index.
+struct FrameRef {
+  std::uint64_t offset = 0;         ///< file offset of the frame's kind byte
+  std::uint64_t actions = 0;        ///< actions encoded in the payload
+  std::uint64_t payload_bytes = 0;  ///< payload size (excl. preamble and CRC)
+  std::uint32_t rank = 0;           ///< issuing rank of every action inside
+};
+
+/// Append one action (proc implied by the enclosing frame's rank).
+void encode_action(std::vector<std::uint8_t>& out, const tit::Action& a);
+
+/// Decode one action from payload[pos...), advancing pos. The issuing rank
+/// comes from the frame. Throws tir::ParseError on malformed bytes.
+tit::Action decode_action(const std::uint8_t* payload, std::size_t size, std::size_t& pos,
+                          std::int32_t rank);
+
+}  // namespace tir::titio

@@ -1,0 +1,282 @@
+#include "titio/reader.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "base/binio.hpp"
+#include "base/error.hpp"
+
+namespace tir::titio {
+
+namespace {
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+/// Actually release a vector's storage (`v = {}` and clear() keep capacity).
+void release(std::vector<std::uint8_t>& v) { std::vector<std::uint8_t>().swap(v); }
+
+}  // namespace
+
+Reader::Reader(const std::string& path, ReaderOptions options)
+    : in_(path, std::ios::binary), path_(path), options_(options) {
+  if (!in_) throw Error("cannot open binary trace: " + path);
+  in_.seekg(0, std::ios::end);
+  file_size_ = static_cast<std::uint64_t>(in_.tellg());
+  if (file_size_ < kHeaderBytes + kFooterBytes) {
+    throw ParseError("binary trace too short (" + std::to_string(file_size_) + " bytes): " +
+                     path);
+  }
+
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  in_.seekg(0);
+  in_.read(reinterpret_cast<char*>(header.data()), header.size());
+  if (!in_) throw ParseError("cannot read binary trace header: " + path);
+  if (get_u32(header.data()) != kMagic) {
+    throw ParseError("not a TITB binary trace (bad magic): " + path);
+  }
+  const std::uint16_t version = get_u16(header.data() + 4);
+  if (version != kVersion) {
+    throw ParseError("unsupported TITB version " + std::to_string(version) + " (expected " +
+                     std::to_string(kVersion) + "): " + path);
+  }
+  const std::uint32_t nprocs = get_u32(header.data() + 8);
+  if (nprocs == 0 || nprocs > 0x7FFFFFFFu) {
+    throw ParseError("bad process count " + std::to_string(nprocs) + ": " + path);
+  }
+  nprocs_ = static_cast<int>(nprocs);
+
+  std::array<std::uint8_t, kFooterBytes> footer{};
+  in_.seekg(static_cast<std::streamoff>(file_size_ - kFooterBytes));
+  in_.read(reinterpret_cast<char*>(footer.data()), footer.size());
+  if (!in_) throw ParseError("cannot read binary trace footer: " + path);
+  if (get_u32(footer.data() + 16) != kEndMagic) {
+    throw ParseError("truncated binary trace (missing end marker): " + path);
+  }
+  const std::uint64_t index_offset = get_u64(footer.data());
+  total_actions_ = get_u64(footer.data() + 8);
+  if (index_offset < kHeaderBytes || index_offset >= file_size_ - kFooterBytes) {
+    throw ParseError("corrupt index offset in binary trace: " + path);
+  }
+
+  // The index frame spans [index_offset, file_size - footer).
+  const std::size_t index_span = static_cast<std::size_t>(file_size_ - kFooterBytes - index_offset);
+  std::vector<std::uint8_t> raw(index_span);
+  in_.seekg(static_cast<std::streamoff>(index_offset));
+  in_.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
+  if (!in_) throw ParseError("cannot read binary trace index: " + path);
+
+  std::size_t pos = 0;
+  if (raw[pos++] != kIndexFrame) throw ParseError("corrupt index frame kind: " + path);
+  const std::uint64_t entries = binio::get_varint(raw.data(), raw.size(), pos);
+  const std::uint64_t entries2 = binio::get_varint(raw.data(), raw.size(), pos);
+  const std::uint64_t payload_bytes = binio::get_varint(raw.data(), raw.size(), pos);
+  if (entries != entries2 || pos + payload_bytes + 4 != raw.size()) {
+    throw ParseError("corrupt index frame in binary trace: " + path);
+  }
+  const std::uint32_t want_crc = get_u32(raw.data() + pos + payload_bytes);
+  if (binio::crc32(raw.data() + pos, static_cast<std::size_t>(payload_bytes)) != want_crc) {
+    throw ParseError("index frame CRC mismatch: " + path);
+  }
+
+  of_rank_.resize(static_cast<std::size_t>(nprocs_));
+  cursors_.resize(static_cast<std::size_t>(nprocs_));
+  frames_.reserve(static_cast<std::size_t>(entries));
+  std::size_t p = pos;
+  const std::size_t payload_end = pos + static_cast<std::size_t>(payload_bytes);
+  std::uint64_t prev_offset = 0;
+  std::uint64_t indexed_actions = 0;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    FrameRef f;
+    const std::uint64_t rank = binio::get_varint(raw.data(), payload_end, p);
+    f.offset = prev_offset + binio::get_varint(raw.data(), payload_end, p);
+    f.actions = binio::get_varint(raw.data(), payload_end, p);
+    f.payload_bytes = binio::get_varint(raw.data(), payload_end, p);
+    prev_offset = f.offset;
+    if (rank >= nprocs) {
+      throw ParseError("index entry rank p" + std::to_string(rank) + " out of range: " + path);
+    }
+    if (f.offset < kHeaderBytes || f.offset + f.payload_bytes + 4 > index_offset) {
+      throw ParseError("index entry offset out of bounds: " + path);
+    }
+    f.rank = static_cast<std::uint32_t>(rank);
+    indexed_actions += f.actions;
+    of_rank_[rank].push_back(frames_.size());
+    frames_.push_back(f);
+  }
+  if (p != payload_end) throw ParseError("trailing bytes in binary trace index: " + path);
+  if (indexed_actions != total_actions_) {
+    throw ParseError("index action count disagrees with footer: " + path);
+  }
+}
+
+std::uint64_t Reader::actions_of(int rank) const {
+  TIR_ASSERT(rank >= 0 && rank < nprocs_);
+  std::uint64_t n = 0;
+  for (const std::size_t f : of_rank_[static_cast<std::size_t>(rank)]) n += frames_[f].actions;
+  return n;
+}
+
+void Reader::account(std::ptrdiff_t delta) {
+  buffered_ = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(buffered_) + delta);
+  peak_buffered_ = std::max(peak_buffered_, buffered_);
+}
+
+void Reader::drop_prefetches() {
+  for (Cursor& cursor : cursors_) {
+    if (!cursor.has_prefetch) continue;
+    account(-static_cast<std::ptrdiff_t>(cursor.prefetched.capacity()));
+    release(cursor.prefetched);
+    cursor.has_prefetch = false;
+  }
+}
+
+void Reader::read_payload(const FrameRef& frame, std::vector<std::uint8_t>& payload) {
+  // Re-parse the frame preamble and cross-check it against the index: a
+  // frame that moved or shrank means either side is corrupt.
+  std::array<std::uint8_t, kMaxFramePreamble> preamble{};
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(frame.offset));
+  const std::size_t want =
+      std::min<std::size_t>(preamble.size(), static_cast<std::size_t>(file_size_ - frame.offset));
+  in_.read(reinterpret_cast<char*>(preamble.data()), static_cast<std::streamsize>(want));
+  if (in_.gcount() != static_cast<std::streamsize>(want)) {
+    throw ParseError("truncated frame at offset " + std::to_string(frame.offset) + ": " + path_);
+  }
+  std::size_t pos = 0;
+  if (preamble[pos++] != kActionFrame) {
+    throw ParseError("bad frame kind at offset " + std::to_string(frame.offset) + ": " + path_);
+  }
+  const std::uint64_t rank = binio::get_varint(preamble.data(), want, pos);
+  const std::uint64_t actions = binio::get_varint(preamble.data(), want, pos);
+  const std::uint64_t payload_bytes = binio::get_varint(preamble.data(), want, pos);
+  if (rank != frame.rank || actions != frame.actions || payload_bytes != frame.payload_bytes) {
+    throw ParseError("frame at offset " + std::to_string(frame.offset) +
+                     " disagrees with index: " + path_);
+  }
+
+  payload.resize(static_cast<std::size_t>(payload_bytes) + 4);  // payload + CRC
+  in_.seekg(static_cast<std::streamoff>(frame.offset + pos));
+  in_.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(payload.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(payload.size())) {
+    throw ParseError("truncated frame payload at offset " + std::to_string(frame.offset) + ": " +
+                     path_);
+  }
+  const std::uint32_t want_crc = get_u32(payload.data() + payload_bytes);
+  payload.resize(static_cast<std::size_t>(payload_bytes));
+  if (binio::crc32(payload.data(), payload.size()) != want_crc) {
+    throw ParseError("frame CRC mismatch at offset " + std::to_string(frame.offset) +
+                     " (rank p" + std::to_string(frame.rank) + "): " + path_);
+  }
+}
+
+bool Reader::advance_frame(int rank, Cursor& cursor) {
+  const std::vector<std::size_t>& list = of_rank_[static_cast<std::size_t>(rank)];
+  if (cursor.next_frame >= list.size()) return false;
+  const FrameRef& frame = frames_[list[cursor.next_frame++]];
+
+  // Invariant: buffered_ is the sum of payload+prefetched capacities over
+  // every cursor.
+  account(-static_cast<std::ptrdiff_t>(cursor.payload.capacity()));
+  if (cursor.has_prefetch) {
+    // The prefetched buffer becomes the current one; its bytes stay counted.
+    cursor.payload.swap(cursor.prefetched);
+    release(cursor.prefetched);
+    cursor.has_prefetch = false;
+  } else {
+    release(cursor.payload);
+    // Mandatory load: if the budget is exhausted, reclaim every cursor's
+    // prefetched frame first (those can be re-read on demand; the current
+    // frame cannot wait).
+    if (buffered_ + frame.payload_bytes + 4 > options_.buffer_bytes) drop_prefetches();
+    read_payload(frame, cursor.payload);
+    account(static_cast<std::ptrdiff_t>(cursor.payload.capacity()));
+  }
+  cursor.pos = 0;
+  cursor.remaining = frame.actions;
+
+  // Prefetch the following frame while the disk is warm, budget permitting.
+  if (cursor.next_frame < list.size()) {
+    const FrameRef& upcoming = frames_[list[cursor.next_frame]];
+    if (buffered_ + upcoming.payload_bytes + 4 <= options_.buffer_bytes) {
+      read_payload(upcoming, cursor.prefetched);
+      cursor.has_prefetch = true;
+      account(static_cast<std::ptrdiff_t>(cursor.prefetched.capacity()));
+    }
+  }
+  return true;
+}
+
+bool Reader::next(int rank, tit::Action& out) {
+  if (rank < 0 || rank >= nprocs_) {
+    throw Error("rank p" + std::to_string(rank) + " out of range (nprocs=" +
+                std::to_string(nprocs_) + "): " + path_);
+  }
+  Cursor& cursor = cursors_[static_cast<std::size_t>(rank)];
+  if (cursor.remaining == 0) {
+    if (!advance_frame(rank, cursor)) {
+      // Stream exhausted: release this cursor's buffers.
+      account(-static_cast<std::ptrdiff_t>(cursor.payload.capacity() +
+                                           cursor.prefetched.capacity()));
+      release(cursor.payload);
+      release(cursor.prefetched);
+      return false;
+    }
+  }
+  out = decode_action(cursor.payload.data(), cursor.payload.size(), cursor.pos,
+                      static_cast<std::int32_t>(rank));
+  --cursor.remaining;
+  if (cursor.remaining == 0 && cursor.pos != cursor.payload.size()) {
+    throw ParseError("frame payload size disagrees with its action count (rank p" +
+                     std::to_string(rank) + "): " + path_);
+  }
+  return true;
+}
+
+void Reader::verify() {
+  std::vector<std::uint8_t> payload;
+  for (const FrameRef& frame : frames_) {
+    read_payload(frame, payload);
+    std::size_t pos = 0;
+    for (std::uint64_t i = 0; i < frame.actions; ++i) {
+      decode_action(payload.data(), payload.size(), pos, static_cast<std::int32_t>(frame.rank));
+    }
+    if (pos != payload.size()) {
+      throw ParseError("frame at offset " + std::to_string(frame.offset) +
+                       " has trailing bytes: " + path_);
+    }
+  }
+}
+
+bool is_binary_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::array<std::uint8_t, 4> magic{};
+  in.read(reinterpret_cast<char*>(magic.data()), magic.size());
+  return in.gcount() == 4 && get_u32(magic.data()) == kMagic;
+}
+
+tit::Trace read_binary_trace(const std::string& path) {
+  Reader reader(path);
+  tit::Trace trace(reader.nprocs());
+  tit::Action a;
+  for (int r = 0; r < reader.nprocs(); ++r) {
+    while (reader.next(r, a)) trace.push(a);
+  }
+  return trace;
+}
+
+}  // namespace tir::titio

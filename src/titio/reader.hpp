@@ -1,0 +1,86 @@
+// Bounded-memory streaming reader of TITB binary traces (format.hpp).
+//
+// On open, the reader loads only the header and the index (a few bytes per
+// frame); action payloads stay on disk.  Each rank has an independent
+// cursor that decodes the current frame in place and, budget permitting,
+// prefetches the raw bytes of its next frame so the hot path rarely waits
+// on a cold seek.  Peak memory is index + at most two frames per rank and
+// is further capped by ReaderOptions::buffer_bytes: when the budget is
+// exhausted, cursors simply skip the prefetch and load frames on demand.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "titio/format.hpp"
+#include "titio/source.hpp"
+
+namespace tir::titio {
+
+struct ReaderOptions {
+  /// Soft budget for buffered frame payloads across every rank cursor.
+  /// At minimum one frame per *active* rank is held regardless (a cursor
+  /// cannot serve actions without its current frame).
+  std::size_t buffer_bytes = 1u << 20;
+};
+
+class Reader final : public ActionSource {
+ public:
+  /// Opens and validates header, footer and index. Throws tir::Error /
+  /// tir::ParseError on anything malformed, truncated or corrupt.
+  explicit Reader(const std::string& path, ReaderOptions options = {});
+
+  int nprocs() const override { return nprocs_; }
+  bool next(int rank, tit::Action& out) override;
+
+  std::uint64_t total_actions() const { return total_actions_; }
+  std::uint64_t actions_of(int rank) const;
+  std::size_t frame_count() const { return frames_.size(); }
+
+  /// Currently buffered payload bytes across all cursors.
+  std::size_t buffered_bytes() const { return buffered_; }
+  /// High-water mark of buffered_bytes() since open.
+  std::size_t peak_buffered_bytes() const { return peak_buffered_; }
+
+  /// Full integrity pass: re-reads every frame in file order, verifies each
+  /// CRC and decodes every action. Independent of the streaming cursors.
+  /// Throws on the first corrupt frame.
+  void verify();
+
+ private:
+  struct Cursor {
+    std::vector<std::uint8_t> payload;     ///< current frame, being decoded
+    std::size_t pos = 0;                   ///< decode position in payload
+    std::uint64_t remaining = 0;           ///< actions left in current frame
+    std::size_t next_frame = 0;            ///< index into frames-of-this-rank
+    std::vector<std::uint8_t> prefetched;  ///< next frame's payload, CRC-checked
+    bool has_prefetch = false;
+  };
+
+  void read_payload(const FrameRef& frame, std::vector<std::uint8_t>& payload);
+  bool advance_frame(int rank, Cursor& cursor);
+  void account(std::ptrdiff_t delta);
+  void drop_prefetches();
+
+  std::ifstream in_;
+  std::string path_;
+  ReaderOptions options_;
+  int nprocs_ = 0;
+  std::uint64_t total_actions_ = 0;
+  std::uint64_t file_size_ = 0;
+  std::vector<FrameRef> frames_;                  ///< file order
+  std::vector<std::vector<std::size_t>> of_rank_;  ///< frame indices per rank
+  std::vector<Cursor> cursors_;
+  std::size_t buffered_ = 0;
+  std::size_t peak_buffered_ = 0;
+};
+
+/// True if `path` starts with the TITB magic (cheap format sniff).
+bool is_binary_trace(const std::string& path);
+
+/// Materialize a whole binary trace (convenience for small files / tests).
+tit::Trace read_binary_trace(const std::string& path);
+
+}  // namespace tir::titio

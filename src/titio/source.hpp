@@ -1,0 +1,52 @@
+// ActionSource: the pull interface both replay engines consume.
+//
+// A replay is per-rank sequential: each simulated rank walks its own action
+// stream front to back, never looking ahead and never revisiting.  That
+// access pattern is exactly what lets a reader stay bounded-memory, so the
+// interface is one per-rank cursor: `next(rank, out)`.  The engines no
+// longer care whether the actions live in RAM (MemorySource over the
+// classic tit::Trace) or stream off disk a frame at a time (titio::Reader).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tit/trace.hpp"
+
+namespace tir::titio {
+
+class ActionSource {
+ public:
+  virtual ~ActionSource() = default;
+
+  virtual int nprocs() const = 0;
+
+  /// Pull `rank`'s next action into `out`; false once that rank's stream is
+  /// exhausted. Ranks have independent cursors and may be pulled in any
+  /// interleaving (the engines interleave them per simulated event).
+  virtual bool next(int rank, tit::Action& out) = 0;
+};
+
+/// Adapter over a fully materialized Trace: the existing in-memory API,
+/// unchanged semantics, zero copies.
+class MemorySource final : public ActionSource {
+ public:
+  explicit MemorySource(const tit::Trace& trace)
+      : trace_(trace), pos_(static_cast<std::size_t>(trace.nprocs()), 0) {}
+
+  int nprocs() const override { return trace_.nprocs(); }
+
+  bool next(int rank, tit::Action& out) override {
+    const std::vector<tit::Action>& seq = trace_.actions(rank);
+    std::size_t& i = pos_[static_cast<std::size_t>(rank)];
+    if (i >= seq.size()) return false;
+    out = seq[i++];
+    return true;
+  }
+
+ private:
+  const tit::Trace& trace_;
+  std::vector<std::size_t> pos_;
+};
+
+}  // namespace tir::titio

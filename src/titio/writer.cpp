@@ -1,0 +1,132 @@
+#include "titio/writer.hpp"
+
+#include "base/binio.hpp"
+#include "base/error.hpp"
+
+namespace tir::titio {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+Writer::Writer(const std::string& path, int nprocs, WriterOptions options)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      options_(options),
+      nprocs_(nprocs) {
+  if (nprocs <= 0) throw Error("binary trace needs nprocs > 0, got " + std::to_string(nprocs));
+  if (options_.frame_actions == 0) options_.frame_actions = 1;
+  if (!out_) throw Error("cannot write binary trace: " + path);
+  pending_.resize(static_cast<std::size_t>(nprocs));
+  pending_count_.resize(static_cast<std::size_t>(nprocs), 0);
+
+  std::vector<std::uint8_t> header;
+  put_u32(header, kMagic);
+  put_u16(header, kVersion);
+  put_u16(header, 0);  // flags
+  put_u32(header, static_cast<std::uint32_t>(nprocs));
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  offset_ = header.size();
+}
+
+Writer::~Writer() {
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Destructor must not throw; an unfinished file fails to load anyway.
+  }
+}
+
+void Writer::add(const tit::Action& a) {
+  if (finished_) throw Error("binary trace writer already finished: " + path_);
+  if (a.proc < 0 || a.proc >= nprocs_) {
+    throw Error("action rank p" + std::to_string(a.proc) + " out of range (nprocs=" +
+                std::to_string(nprocs_) + ") in " + path_);
+  }
+  const auto rank = static_cast<std::size_t>(a.proc);
+  encode_action(pending_[rank], a);
+  ++pending_count_[rank];
+  ++total_actions_;
+  if (pending_count_[rank] >= options_.frame_actions) flush_rank(rank);
+}
+
+void Writer::flush_rank(std::size_t rank) {
+  if (pending_count_[rank] == 0) return;
+  frames_.push_back(FrameRef{offset_, pending_count_[rank], pending_[rank].size(),
+                             static_cast<std::uint32_t>(rank)});
+  write_frame(kActionFrame, rank, pending_count_[rank], pending_[rank]);
+  pending_[rank].clear();
+  pending_count_[rank] = 0;
+}
+
+void Writer::write_frame(std::uint8_t kind, std::uint64_t id, std::uint64_t count,
+                         const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> preamble;
+  preamble.push_back(kind);
+  binio::put_varint(preamble, id);
+  binio::put_varint(preamble, count);
+  binio::put_varint(preamble, payload.size());
+  out_.write(reinterpret_cast<const char*>(preamble.data()),
+             static_cast<std::streamsize>(preamble.size()));
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  std::vector<std::uint8_t> crc;
+  put_u32(crc, binio::crc32(payload.data(), payload.size()));
+  out_.write(reinterpret_cast<const char*>(crc.data()), static_cast<std::streamsize>(crc.size()));
+  if (!out_) throw Error("write failed on binary trace: " + path_);
+  offset_ += preamble.size() + payload.size() + crc.size();
+}
+
+void Writer::finish() {
+  if (finished_) return;
+  for (std::size_t r = 0; r < pending_.size(); ++r) flush_rank(r);
+
+  // Index frame: one entry per action frame, offsets delta-encoded in file
+  // order. The frame's "id" slot carries the entry count.
+  std::vector<std::uint8_t> index;
+  std::uint64_t prev_offset = 0;
+  for (const FrameRef& f : frames_) {
+    binio::put_varint(index, f.rank);
+    binio::put_varint(index, f.offset - prev_offset);
+    binio::put_varint(index, f.actions);
+    binio::put_varint(index, f.payload_bytes);
+    prev_offset = f.offset;
+  }
+  const std::uint64_t index_offset = offset_;
+  write_frame(kIndexFrame, frames_.size(), frames_.size(), index);
+
+  std::vector<std::uint8_t> footer;
+  put_u64(footer, index_offset);
+  put_u64(footer, total_actions_);
+  put_u32(footer, kEndMagic);
+  out_.write(reinterpret_cast<const char*>(footer.data()),
+             static_cast<std::streamsize>(footer.size()));
+  out_.flush();
+  if (!out_) throw Error("write failed on binary trace: " + path_);
+  finished_ = true;
+}
+
+void write_binary_trace(const tit::Trace& trace, const std::string& path,
+                        WriterOptions options) {
+  Writer writer(path, trace.nprocs(), options);
+  for (int p = 0; p < trace.nprocs(); ++p) {
+    for (const tit::Action& a : trace.actions(p)) writer.add(a);
+  }
+  writer.finish();
+}
+
+}  // namespace tir::titio

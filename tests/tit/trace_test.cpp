@@ -73,6 +73,40 @@ TEST(TitParse, MalformedLinesThrow) {
   EXPECT_THROW(parse_line("px compute 10"), ParseError);
 }
 
+TEST(TitParse, NonFiniteVolumesRejected) {
+  // strtod-style parsers happily produce nan/inf; a trace volume never may.
+  EXPECT_THROW(parse_line("p0 compute nan"), ParseError);
+  EXPECT_THROW(parse_line("p0 compute -nan"), ParseError);
+  EXPECT_THROW(parse_line("p0 compute inf"), ParseError);
+  EXPECT_THROW(parse_line("p0 send p1 -inf"), ParseError);
+  EXPECT_THROW(parse_line("p0 compute 1e999"), ParseError);  // overflows to inf
+  EXPECT_THROW(parse_line("p0 allreduce 8 nan"), ParseError);
+}
+
+TEST(TitParse, NegativeAndOversizedRanksRejected) {
+  EXPECT_THROW(parse_line("p-1 compute 5"), ParseError);
+  EXPECT_THROW(parse_line("-1 compute 5"), ParseError);
+  EXPECT_THROW(parse_line("p4294967296 compute 5"), ParseError);       // > int32
+  EXPECT_THROW(parse_line("p0 send p99999999999 10"), ParseError);     // partner too
+  EXPECT_THROW(parse_line("p0 send p-2 10"), ParseError);
+}
+
+TEST(TitParse, MalformedInputErrorsCarryLineNumbers) {
+  const char* cases[] = {
+      "p0 compute 5\np0 send p1\n",      // truncated send
+      "p0 compute 5\np0 compute nan\n",  // NaN volume
+      "p0 compute 5\np-3 compute 1\n",   // negative rank
+  };
+  for (const char* text : cases) {
+    try {
+      parse_trace_string(text, 1);
+      FAIL() << text;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    }
+  }
+}
+
 TEST(TitParse, CommentsAndBlankLinesIgnored) {
   const Trace t = parse_trace_string("# header\n\n  \np0 compute 5\n", 1);
   EXPECT_EQ(t.total_actions(), 1u);

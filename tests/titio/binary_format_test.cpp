@@ -1,0 +1,296 @@
+// The TITB binary trace format: lossless round trips (in-memory, text ->
+// binary -> text), special values, corruption and truncation rejection,
+// and the reader's bounded-buffer accounting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "base/error.hpp"
+#include "base/rng.hpp"
+#include "tit/trace.hpp"
+#include "titio/reader.hpp"
+#include "titio/writer.hpp"
+
+namespace tir::titio {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_file(const std::string& name) {
+  return fs::temp_directory_path() / ("titio_" + name + ".titb");
+}
+
+tit::Action random_action(rng::Sequence& rand, int nprocs) {
+  using tit::ActionType;
+  static const ActionType kTypes[] = {
+      ActionType::Init,      ActionType::Finalize, ActionType::Compute,
+      ActionType::Send,      ActionType::Isend,    ActionType::Recv,
+      ActionType::Irecv,     ActionType::Wait,     ActionType::WaitAll,
+      ActionType::Barrier,   ActionType::Bcast,    ActionType::Reduce,
+      ActionType::AllReduce, ActionType::AllToAll, ActionType::AllGather,
+      ActionType::Gather,    ActionType::Scatter};
+  tit::Action a;
+  a.type = kTypes[rand.next_u64() % std::size(kTypes)];
+  a.proc = static_cast<std::int32_t>(rand.next_u64() % nprocs);
+  const auto other = static_cast<std::int32_t>(rand.next_u64() % nprocs);
+  switch (a.type) {
+    case ActionType::Send:
+    case ActionType::Isend:
+    case ActionType::Recv:
+    case ActionType::Irecv:
+      a.partner = other;
+      a.volume = static_cast<double>(rand.next_u64() % 1000000);
+      break;
+    case ActionType::Compute:
+      a.volume = static_cast<double>(rand.next_u64() % (1ULL << 40));
+      break;
+    case ActionType::Bcast:
+    case ActionType::Gather:
+    case ActionType::Scatter:
+      a.partner = other;
+      a.volume = static_cast<double>(rand.next_u64() % 100000);
+      break;
+    case ActionType::Reduce:
+      a.partner = other;
+      [[fallthrough]];
+    case ActionType::AllReduce:
+    case ActionType::AllToAll:
+    case ActionType::AllGather:
+      a.volume = static_cast<double>(rand.next_u64() % 100000);
+      a.volume2 = static_cast<double>(rand.next_u64() % 100000);
+      break;
+    default:
+      break;
+  }
+  return a;
+}
+
+class BinaryRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryRoundTrip, RandomTracesAreLossless) {
+  rng::Sequence rand(GetParam());
+  const int nprocs = 2 + static_cast<int>(rand.next_u64() % 6);
+  tit::Trace trace(nprocs);
+  for (int i = 0; i < 500; ++i) trace.push(random_action(rand, nprocs));
+
+  const fs::path path = temp_file("rt_" + std::to_string(GetParam()));
+  // Small frames force multiple frames per rank.
+  write_binary_trace(trace, path.string(), WriterOptions{64});
+  const tit::Trace back = read_binary_trace(path.string());
+  ASSERT_EQ(back.nprocs(), nprocs);
+  for (int p = 0; p < nprocs; ++p) EXPECT_EQ(back.actions(p), trace.actions(p));
+  fs::remove(path);
+}
+
+TEST_P(BinaryRoundTrip, TextToBinaryToTextIsIdentity) {
+  rng::Sequence rand(GetParam() + 1000);
+  const int nprocs = 4;
+  tit::Trace trace(nprocs);
+  for (int i = 0; i < 300; ++i) trace.push(random_action(rand, nprocs));
+
+  // Text rendering of the original...
+  std::string text;
+  for (int p = 0; p < nprocs; ++p) {
+    for (const tit::Action& a : trace.actions(p)) text += tit::to_line(a) + "\n";
+  }
+  // ...through the binary format...
+  const fs::path path = temp_file("txt_" + std::to_string(GetParam()));
+  {
+    Writer writer(path.string(), nprocs, WriterOptions{32});
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) writer.add(tit::parse_line(line));
+    writer.finish();
+  }
+  // ...and back to text is the identity.
+  Reader reader(path.string());
+  std::string back;
+  tit::Action a;
+  for (int r = 0; r < nprocs; ++r) {
+    while (reader.next(r, a)) back += tit::to_line(a) + "\n";
+  }
+  EXPECT_EQ(back, text);
+  fs::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryRoundTrip, ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(BinaryFormat, SpecialValuesSurvive) {
+  using tit::ActionType;
+  tit::Trace trace(2);
+  trace.push({ActionType::Recv, 0, 1, tit::kNoVolume, 0});     // old-format recv
+  trace.push({ActionType::Compute, 0, -1, 1.5, 0});            // fractional -> f64 path
+  trace.push({ActionType::Compute, 0, -1, 1e30, 0});           // huge -> f64 path
+  trace.push({ActionType::Compute, 0, -1, 9007199254740992.0, 0});  // 2^53
+  trace.push({ActionType::AllReduce, 1, -1, 0, 977536});       // zero volume, volume2 set
+  trace.push({ActionType::Reduce, 1, 0, 4096, 0.25});          // fractional volume2
+
+  const fs::path path = temp_file("special");
+  write_binary_trace(trace, path.string());
+  const tit::Trace back = read_binary_trace(path.string());
+  EXPECT_EQ(back.actions(0), trace.actions(0));
+  EXPECT_EQ(back.actions(1), trace.actions(1));
+  fs::remove(path);
+}
+
+TEST(BinaryFormat, EmptyTraceRoundTrips) {
+  const fs::path path = temp_file("empty");
+  write_binary_trace(tit::Trace(3), path.string());
+  Reader reader(path.string());
+  EXPECT_EQ(reader.nprocs(), 3);
+  EXPECT_EQ(reader.total_actions(), 0u);
+  tit::Action a;
+  for (int r = 0; r < 3; ++r) EXPECT_FALSE(reader.next(r, a));
+  EXPECT_NO_THROW(Reader(path.string()).verify());
+  fs::remove(path);
+}
+
+TEST(BinaryFormat, InterleavedWritesRoundTrip) {
+  const int nprocs = 3;
+  tit::Trace trace(nprocs);
+  for (int i = 0; i < 100; ++i) {
+    for (int r = 0; r < nprocs; ++r) {
+      trace.push({tit::ActionType::Compute, r, -1, static_cast<double>(i * nprocs + r), 0});
+    }
+  }
+  const fs::path path = temp_file("interleaved");
+  {
+    Writer writer(path.string(), nprocs, WriterOptions{16});
+    for (int i = 0; i < 100; ++i) {  // round-robin across ranks, as acquisition would
+      for (int r = 0; r < nprocs; ++r) writer.add(trace.actions(r)[static_cast<size_t>(i)]);
+    }
+    writer.finish();
+  }
+  const tit::Trace back = read_binary_trace(path.string());
+  for (int p = 0; p < nprocs; ++p) EXPECT_EQ(back.actions(p), trace.actions(p));
+  fs::remove(path);
+}
+
+TEST(BinaryFormat, WriterRejectsOutOfRangeRank) {
+  const fs::path path = temp_file("badrank");
+  Writer writer(path.string(), 2);
+  EXPECT_THROW(writer.add({tit::ActionType::Compute, 5, -1, 1, 0}), Error);
+  EXPECT_THROW(writer.add({tit::ActionType::Compute, -1, -1, 1, 0}), Error);
+  writer.finish();
+  fs::remove(path);
+}
+
+// ---------- corruption & truncation ----------------------------------------
+
+fs::path write_sample(const std::string& name, int actions_per_rank = 200) {
+  tit::Trace trace(2);
+  for (int i = 0; i < actions_per_rank; ++i) {
+    trace.push({tit::ActionType::Compute, 0, -1, static_cast<double>(1000 + i), 0});
+    trace.push({tit::ActionType::Compute, 1, -1, static_cast<double>(2000 + i), 0});
+  }
+  const fs::path path = temp_file(name);
+  write_binary_trace(trace, path.string(), WriterOptions{64});
+  return path;
+}
+
+std::vector<char> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const fs::path& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(BinaryFormat, TruncationAnywhereIsRejected) {
+  const fs::path path = write_sample("trunc");
+  const std::vector<char> bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 40u);
+  // Chop at several depths: inside header, inside a frame, inside the
+  // footer. Every truncation must be detected at open (the footer and
+  // index are gone or out of bounds), never served as a short trace.
+  for (const std::size_t keep :
+       {std::size_t{4}, std::size_t{20}, bytes.size() / 2, bytes.size() - 5}) {
+    spit(path, std::vector<char>(bytes.begin(), bytes.begin() + static_cast<long>(keep)));
+    EXPECT_THROW(Reader{path.string()}, Error) << "kept " << keep << " bytes";
+  }
+  fs::remove(path);
+}
+
+TEST(BinaryFormat, CorruptActionFrameIsRejected) {
+  const fs::path path = write_sample("corrupt");
+  std::vector<char> bytes = slurp(path);
+  // Flip one byte inside the first action frame's payload (the header is 12
+  // bytes, the frame preamble a handful more; offset 30 is payload).
+  bytes[30] = static_cast<char>(bytes[30] ^ 0x40);
+  spit(path, bytes);
+
+  Reader reader(path.string());  // index is intact, open succeeds
+  EXPECT_THROW(reader.verify(), ParseError);
+  tit::Action a;
+  EXPECT_THROW({
+    for (int r = 0; r < reader.nprocs(); ++r) {
+      while (reader.next(r, a)) {
+      }
+    }
+  }, ParseError);
+  fs::remove(path);
+}
+
+TEST(BinaryFormat, CorruptIndexIsRejected) {
+  const fs::path path = write_sample("corruptindex");
+  std::vector<char> bytes = slurp(path);
+  // The index payload sits just before the 20-byte footer.
+  bytes[bytes.size() - 30] = static_cast<char>(bytes[bytes.size() - 30] ^ 0x01);
+  spit(path, bytes);
+  EXPECT_THROW(Reader{path.string()}, Error);
+  fs::remove(path);
+}
+
+TEST(BinaryFormat, NonTitbFilesAreRejected) {
+  const fs::path path = temp_file("nottitb");
+  {
+    std::ofstream out(path);
+    out << "p0 compute 956140\n";  // a text trace is not a binary trace
+  }
+  EXPECT_FALSE(is_binary_trace(path.string()));
+  EXPECT_THROW(Reader{path.string()}, ParseError);
+  EXPECT_FALSE(is_binary_trace("/nonexistent/path/trace.titb"));
+  fs::remove(path);
+}
+
+TEST(BinaryFormat, MagicSniffRecognizesBinary) {
+  const fs::path path = write_sample("sniff", 10);
+  EXPECT_TRUE(is_binary_trace(path.string()));
+  fs::remove(path);
+}
+
+// ---------- bounded buffering ----------------------------------------------
+
+TEST(BinaryFormat, ReaderBufferingStaysWithinBudget) {
+  const int nprocs = 4;
+  tit::Trace trace(nprocs);
+  for (int i = 0; i < 4000; ++i) {
+    for (int r = 0; r < nprocs; ++r) {
+      trace.push({tit::ActionType::Compute, r, -1, static_cast<double>(i), 0});
+    }
+  }
+  const fs::path path = temp_file("budget");
+  write_binary_trace(trace, path.string(), WriterOptions{128});
+
+  const std::size_t budget = 16u << 10;  // 16 KiB across all cursors
+  Reader reader(path.string(), ReaderOptions{budget});
+  tit::Action a;
+  // Interleave ranks the way the engines do.
+  bool any = true;
+  while (any) {
+    any = false;
+    for (int r = 0; r < nprocs; ++r) any = reader.next(r, a) || any;
+  }
+  EXPECT_GT(reader.peak_buffered_bytes(), 0u);
+  EXPECT_LE(reader.peak_buffered_bytes(), budget);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);  // all cursors drained and released
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace tir::titio
