@@ -4,10 +4,16 @@
 //   $ tit-convert text2bin TRACE.manifest OUT.titb [NPROCS]
 //   $ tit-convert bin2text IN.titb OUTDIR BASENAME
 //   $ tit-convert info     IN.titb
+//   $ tit-convert validate TRACE.manifest|IN.titb [NPROCS]
 //
 // Both conversions stream: memory stays bounded by one frame per rank no
 // matter how large the trace is. NPROCS is only needed for single-file
 // manifests (all ranks sharing one text file, paper §3.3).
+//
+// `validate` cross-checks the per-rank action streams before any replay
+// (send/recv matching, collective agreement, partner bounds, volume
+// sanity; docs/robustness.md) and prints the full report. Exit 0 when the
+// trace is replayable, 1 when it has errors.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -18,6 +24,7 @@
 #include "base/string_util.hpp"
 #include "base/units.hpp"
 #include "tit/trace.hpp"
+#include "tit/validate.hpp"
 #include "titio/reader.hpp"
 #include "titio/writer.hpp"
 
@@ -101,13 +108,24 @@ int info(const std::string& path) {
   return 0;
 }
 
+int validate(const std::string& path, int nprocs) {
+  // Materialize from either format (the validator needs random access to
+  // whole per-rank streams), then cross-check.
+  const tit::Trace trace =
+      titio::is_binary_trace(path) ? titio::read_binary_trace(path) : tit::load_trace(path, nprocs);
+  const tit::ValidationReport report = tit::validate_trace(trace);
+  std::fputs(tit::to_string(report).c_str(), stdout);
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: tit-convert text2bin TRACE.manifest OUT.titb [NPROCS]\n"
       "       tit-convert bin2text IN.titb OUTDIR BASENAME\n"
-      "       tit-convert info     IN.titb\n";
+      "       tit-convert info     IN.titb\n"
+      "       tit-convert validate TRACE.manifest|IN.titb [NPROCS]\n";
   try {
     const std::string mode = argc > 1 ? argv[1] : "";
     if (mode == "text2bin" && (argc == 4 || argc == 5)) {
@@ -115,6 +133,9 @@ int main(int argc, char** argv) {
     }
     if (mode == "bin2text" && argc == 5) return bin2text(argv[2], argv[3], argv[4]);
     if (mode == "info" && argc == 3) return info(argv[2]);
+    if (mode == "validate" && (argc == 3 || argc == 4)) {
+      return validate(argv[2], argc == 4 ? std::atoi(argv[3]) : -1);
+    }
     std::fputs(usage.c_str(), stderr);
     return 2;
   } catch (const tir::Error& e) {

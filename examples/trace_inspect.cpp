@@ -17,6 +17,7 @@
 #include "base/error.hpp"
 #include "base/units.hpp"
 #include "tit/trace.hpp"
+#include "tit/validate.hpp"
 #include "titio/reader.hpp"
 
 namespace {
@@ -103,7 +104,6 @@ int inspect_binary(const std::string& path) {
 
 int inspect_text(const std::string& path, int np) {
   const tit::Trace trace = tit::load_trace(path, np);
-  tit::validate(trace);
   std::printf("trace    : %s\n", path.c_str());
   std::printf("processes: %d\n", trace.nprocs());
 
@@ -113,7 +113,12 @@ int inspect_text(const std::string& path, int np) {
     for (const tit::Action& a : trace.actions(r)) s.add(a);
   }
   print_summary(s);
-  return 0;
+
+  // Full report instead of throwing on the first problem: an inspector
+  // should show everything it found, then signal failure via exit status.
+  const tit::ValidationReport report = tit::validate_trace(trace);
+  std::printf("\n%s", tit::to_string(report).c_str());
+  return report.ok() ? 0 : 1;
 }
 
 }  // namespace

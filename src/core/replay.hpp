@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/error.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
 #include "smpi/config.hpp"
@@ -38,10 +39,35 @@ struct ReplayConfig {
   sim::Sharing sharing = sim::Sharing::Uncontended;
   /// New back-end only: the SMPI protocol/network model.
   smpi::Config mpi{};
+  /// Wall-clock budget for the whole replay (host seconds); 0 disables.
+  /// On expiry the replay is cancelled gracefully with WatchdogError.
+  double watchdog_seconds = 0.0;
+
+  /// Cross-check the config against the trace before spawning anything:
+  /// a per-rank rate vector must cover every rank. Throws ConfigError
+  /// naming the mismatch. Both replay engines call this first.
+  void check(int nprocs) const {
+    if (rates.empty()) throw ConfigError("replay rate vector is empty");
+    if (rates.size() > 1 && rates.size() < static_cast<std::size_t>(nprocs)) {
+      throw ConfigError("replay has " + std::to_string(nprocs) + " ranks but only " +
+                        std::to_string(rates.size()) +
+                        " calibrated rates (need 1 or >= nprocs)");
+    }
+    for (std::size_t r = 0; r < rates.size(); ++r) {
+      if (!(rates[r] > 0.0)) {
+        throw ConfigError("calibrated rate for rank p" + std::to_string(r) +
+                          " is not positive: " + std::to_string(rates[r]));
+      }
+    }
+  }
 
   double rate_for(int rank) const {
-    TIR_ASSERT(!rates.empty());
-    return rates.size() == 1 ? rates[0] : rates.at(static_cast<std::size_t>(rank));
+    if (rates.size() == 1) return rates[0];
+    if (rank < 0 || static_cast<std::size_t>(rank) >= rates.size()) {
+      throw ConfigError("no calibrated rate for rank p" + std::to_string(rank) +
+                        " (rate vector has " + std::to_string(rates.size()) + " entries)");
+    }
+    return rates[static_cast<std::size_t>(rank)];
   }
 };
 
@@ -50,6 +76,12 @@ struct ReplayResult {
   std::uint64_t actions_replayed = 0;
   std::uint64_t engine_steps = 0;
   double wall_clock_seconds = 0.0;   ///< replay efficiency (host time)
+  /// Best-effort summary: actions the source dropped to corrupt-frame
+  /// recovery (titio::ReaderOptions::recover). A degraded prediction is
+  /// still a prediction, but callers choosing strict semantics must check
+  /// this before trusting simulated_time.
+  std::uint64_t skipped_actions = 0;
+  bool degraded = false;
 };
 
 /// New SMPI-based replay (the paper's improved framework). The engines pull

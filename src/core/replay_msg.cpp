@@ -65,12 +65,43 @@ sim::Coro monolithic(sim::Ctx& ctx, OldReplayShared& shared, double delay) {
   if (delay > 0.0) co_await ctx.sleep(delay);
 }
 
+/// Per-rank state behind the engine's deadlock/watchdog diagnosis (same
+/// shape as the new back-end's; see replay_smpi.cpp).
+struct RankDiag {
+  tit::Action last{};
+  std::uint64_t completed = 0;
+  std::string waiting;
+};
+
+std::string describe_rank(const RankDiag& diag) {
+  std::string s = diag.waiting.empty() ? "blocked" : "blocked on " + diag.waiting;
+  if (diag.completed > 0) {
+    s += "; last completed: " + tit::to_line(diag.last) + " (action #" +
+         std::to_string(diag.completed - 1) + ")";
+  } else {
+    s += "; no action completed yet";
+  }
+  return s;
+}
+
+void check_p2p_partner(int me, int nprocs, const tit::Action& a) {
+  if (a.partner < 0 || a.partner >= nprocs) {
+    throw MalformedTraceError("p" + std::to_string(me) +
+                              ": partner out of range: " + tit::to_line(a));
+  }
+  if (a.partner == me) {
+    throw MalformedTraceError("p" + std::to_string(me) + ": self-message: " + tit::to_line(a));
+  }
+}
+
 sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
                           OldReplayShared& shared, const ReplayConfig& config,
                           std::uint64_t& actions) {
   const double rate = config.rate_for(me);
   const int n = shared.nprocs;
   std::deque<msg::Request> outstanding;
+  RankDiag diag;
+  ctx.set_diagnoser([&diag] { return describe_rank(diag); });
   tit::Action a;
   while (source.next(me, a)) {
     ++actions;
@@ -82,30 +113,38 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
         co_await ctx.execute_at(a.volume, rate);
         break;
       case tit::ActionType::Send:
+        check_p2p_partner(me, n, a);
         // The paper's old action_send: async below 64 KiB, blocking above.
         if (a.volume < kSmallMessage) {
           shared.mailboxes.isend(ctx, box_name(me, a.partner), a.volume);
         } else {
+          diag.waiting = "mailbox " + box_name(me, a.partner) + ": " + tit::to_line(a);
           co_await shared.mailboxes.send(ctx, box_name(me, a.partner), a.volume);
         }
         break;
       case tit::ActionType::Isend:
+        check_p2p_partner(me, n, a);
         outstanding.push_back(shared.mailboxes.isend(ctx, box_name(me, a.partner), a.volume));
         break;
       case tit::ActionType::Recv:
       case tit::ActionType::Irecv:
+        check_p2p_partner(me, n, a);
         // The old framework had no true nonblocking receive; irecv degraded
         // to a blocking mailbox read (one of its crude simplifications).
+        diag.waiting = "mailbox " + box_name(a.partner, me) + ": " + tit::to_line(a);
         co_await shared.mailboxes.recv(ctx, box_name(a.partner, me));
         break;
       case tit::ActionType::Wait:
         if (!outstanding.empty()) {
+          diag.waiting = "wait (oldest outstanding request)";
           msg::Request r = std::move(outstanding.front());
           outstanding.pop_front();
           co_await ctx.wait(std::move(r));
         }
         break;
       case tit::ActionType::WaitAll:
+        diag.waiting = "waitall (" + std::to_string(outstanding.size()) +
+                       " outstanding request(s))";
         while (!outstanding.empty()) {
           msg::Request r = std::move(outstanding.front());
           outstanding.pop_front();
@@ -113,30 +152,40 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
         }
         break;
       case tit::ActionType::Barrier:
+        diag.waiting = "collective rendezvous: " + tit::to_line(a);
         co_await monolithic(ctx, shared, shared.model.stage(1.0));
         break;
       case tit::ActionType::Bcast:
+        diag.waiting = "collective rendezvous: " + tit::to_line(a);
         co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
         break;
       case tit::ActionType::Reduce:
+        diag.waiting = "collective rendezvous: " + tit::to_line(a);
         co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
         co_await ctx.execute_at(std::max(a.volume2, 1.0), rate);
         break;
       case tit::ActionType::AllReduce:
+        diag.waiting = "collective rendezvous: " + tit::to_line(a);
         co_await monolithic(ctx, shared, 2.0 * shared.model.tree(n, a.volume));
         co_await ctx.execute_at(std::max(a.volume2, 1.0), rate);
         break;
       case tit::ActionType::AllToAll:
+        diag.waiting = "collective rendezvous: " + tit::to_line(a);
         co_await monolithic(ctx, shared, (n - 1) * shared.model.stage(a.volume));
         break;
       case tit::ActionType::AllGather:
+        diag.waiting = "collective rendezvous: " + tit::to_line(a);
         co_await monolithic(ctx, shared, (n - 1) * shared.model.stage(a.volume));
         break;
       case tit::ActionType::Gather:
       case tit::ActionType::Scatter:
+        diag.waiting = "collective rendezvous: " + tit::to_line(a);
         co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
         break;
     }
+    diag.last = a;
+    ++diag.completed;
+    diag.waiting.clear();  // keeps capacity: no per-action allocation
   }
 }
 
@@ -145,7 +194,8 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
 ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& platform,
                         const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
-  sim::Engine engine(platform, sim::EngineConfig{config.sharing});
+  config.check(source.nprocs());
+  sim::Engine engine(platform, sim::EngineConfig{config.sharing, config.watchdog_seconds});
   OldReplayShared shared(engine, source.nprocs());
 
   // Analytic model parameters from a representative host pair.
@@ -171,6 +221,8 @@ ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& p
   engine.run();
   result.simulated_time = engine.now();
   result.engine_steps = engine.steps();
+  result.skipped_actions = source.skipped_actions();
+  result.degraded = result.skipped_actions > 0;
   result.wall_clock_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;

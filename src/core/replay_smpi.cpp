@@ -12,11 +12,48 @@ namespace tir::core {
 
 namespace {
 
+/// Per-rank state behind the engine's deadlock/watchdog diagnosis: what the
+/// rank is blocked on and the last action it completed.  Lives in the
+/// coroutine frame; the engine only reads it (through the diagnoser
+/// callback) while the actor is suspended, so the frame is alive.
+struct RankDiag {
+  tit::Action last{};
+  std::uint64_t completed = 0;
+  std::uint64_t collective_site = 0;  ///< matches the static validator's numbering
+  std::string waiting;
+};
+
+std::string describe_rank(const RankDiag& diag) {
+  std::string s = diag.waiting.empty() ? "blocked" : "blocked on " + diag.waiting;
+  if (diag.completed > 0) {
+    s += "; last completed: " + tit::to_line(diag.last) + " (action #" +
+         std::to_string(diag.completed - 1) + ")";
+  } else {
+    s += "; no action completed yet";
+  }
+  return s;
+}
+
+/// Spot checks on streamed actions that static validation cannot cover
+/// (a streaming source is never materialized, so replay is the first place
+/// the whole action is visible).
+void check_p2p_partner(int me, int nprocs, const tit::Action& a) {
+  if (a.partner < 0 || a.partner >= nprocs) {
+    throw MalformedTraceError("p" + std::to_string(me) +
+                              ": partner out of range: " + tit::to_line(a));
+  }
+  if (a.partner == me) {
+    throw MalformedTraceError("p" + std::to_string(me) + ": self-message: " + tit::to_line(a));
+  }
+}
+
 sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
                            smpi::World& world, const ReplayConfig& config,
                            std::uint64_t& actions) {
   const double rate = config.rate_for(me);
   std::deque<smpi::Request> outstanding;  // nonblocking ops in issue order
+  RankDiag diag;
+  ctx.set_diagnoser([&diag] { return describe_rank(diag); });
   tit::Action a;
   while (source.next(me, a)) {
     ++actions;
@@ -28,57 +65,87 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
         co_await ctx.execute_at(a.volume, rate);
         break;
       case tit::ActionType::Send:
+        check_p2p_partner(me, world.size(), a);
+        diag.waiting = tit::to_line(a);
         co_await world.send(ctx, me, a.partner, a.volume);
         break;
       case tit::ActionType::Isend:
+        check_p2p_partner(me, world.size(), a);
         outstanding.push_back(world.isend(ctx, me, a.partner, a.volume));
         break;
       case tit::ActionType::Recv:
+        check_p2p_partner(me, world.size(), a);
+        diag.waiting = tit::to_line(a);
         co_await world.recv(ctx, me, a.partner, a.volume);
         break;
       case tit::ActionType::Irecv:
+        check_p2p_partner(me, world.size(), a);
         outstanding.push_back(world.irecv(ctx, me, a.partner, a.volume));
         break;
       case tit::ActionType::Wait: {
         if (outstanding.empty()) {
-          throw SimError("p" + std::to_string(me) + ": wait with no outstanding request");
+          throw MalformedTraceError("p" + std::to_string(me) +
+                                    ": wait with no outstanding request");
         }
+        diag.waiting = "wait (oldest of " + std::to_string(outstanding.size()) +
+                       " outstanding request(s))";
         smpi::Request r = std::move(outstanding.front());
         outstanding.pop_front();
         co_await world.wait(ctx, std::move(r));
         break;
       }
       case tit::ActionType::WaitAll: {
+        diag.waiting = "waitall (" + std::to_string(outstanding.size()) +
+                       " outstanding request(s))";
         std::vector<smpi::Request> all(outstanding.begin(), outstanding.end());
         outstanding.clear();
         co_await world.waitall(ctx, std::move(all));
         break;
       }
       case tit::ActionType::Barrier:
-        co_await world.barrier(ctx, me);
-        break;
       case tit::ActionType::Bcast:
-        co_await world.bcast(ctx, me, a.volume, a.partner >= 0 ? a.partner : 0);
-        break;
       case tit::ActionType::Reduce:
-        co_await world.reduce(ctx, me, a.volume, a.volume2, a.partner >= 0 ? a.partner : 0);
-        break;
       case tit::ActionType::AllReduce:
-        co_await world.allreduce(ctx, me, a.volume, a.volume2);
-        break;
       case tit::ActionType::AllToAll:
-        co_await world.alltoall(ctx, me, a.volume);
-        break;
       case tit::ActionType::AllGather:
-        co_await world.allgather(ctx, me, a.volume);
-        break;
       case tit::ActionType::Gather:
-        co_await world.gather(ctx, me, a.volume, a.partner >= 0 ? a.partner : 0);
+      case tit::ActionType::Scatter: {
+        diag.waiting = "collective site " + std::to_string(diag.collective_site) + ": " +
+                       tit::to_line(a);
+        ++diag.collective_site;
+        const int root = a.partner >= 0 ? a.partner : 0;
+        switch (a.type) {
+          case tit::ActionType::Barrier:
+            co_await world.barrier(ctx, me);
+            break;
+          case tit::ActionType::Bcast:
+            co_await world.bcast(ctx, me, a.volume, root);
+            break;
+          case tit::ActionType::Reduce:
+            co_await world.reduce(ctx, me, a.volume, a.volume2, root);
+            break;
+          case tit::ActionType::AllReduce:
+            co_await world.allreduce(ctx, me, a.volume, a.volume2);
+            break;
+          case tit::ActionType::AllToAll:
+            co_await world.alltoall(ctx, me, a.volume);
+            break;
+          case tit::ActionType::AllGather:
+            co_await world.allgather(ctx, me, a.volume);
+            break;
+          case tit::ActionType::Gather:
+            co_await world.gather(ctx, me, a.volume, root);
+            break;
+          default:
+            co_await world.scatter(ctx, me, a.volume, root);
+            break;
+        }
         break;
-      case tit::ActionType::Scatter:
-        co_await world.scatter(ctx, me, a.volume, a.partner >= 0 ? a.partner : 0);
-        break;
+      }
     }
+    diag.last = a;
+    ++diag.completed;
+    diag.waiting.clear();  // keeps capacity: no per-action allocation
   }
 }
 
@@ -87,7 +154,8 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
 ReplayResult replay_smpi(titio::ActionSource& source, const platform::Platform& platform,
                          const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
-  sim::Engine engine(platform, sim::EngineConfig{config.sharing});
+  config.check(source.nprocs());
+  sim::Engine engine(platform, sim::EngineConfig{config.sharing, config.watchdog_seconds});
   smpi::World world(engine, config.mpi, smpi::World::scatter_hosts(platform, source.nprocs()),
                     std::vector<int>(static_cast<std::size_t>(source.nprocs()), 0));
   ReplayResult result;
@@ -97,6 +165,8 @@ ReplayResult replay_smpi(titio::ActionSource& source, const platform::Platform& 
   engine.run();
   result.simulated_time = engine.now();
   result.engine_steps = engine.steps();
+  result.skipped_actions = source.skipped_actions();
+  result.degraded = result.skipped_actions > 0;
   result.wall_clock_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;

@@ -86,20 +86,41 @@ void Engine::on_actor_done(int actor_index, std::exception_ptr exception) {
 void Engine::run() {
   TIR_ASSERT(!running_loop_);
   running_loop_ = true;
-  while (true) {
-    drain_ready();
-    if (first_error_) break;
-    if (running_.empty()) {
-      if (alive_actors_ > 0) report_deadlock();
-      break;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    while (true) {
+      drain_ready();
+      if (first_error_) break;
+      if (running_.empty()) {
+        if (alive_actors_ > 0) report_deadlock();
+        break;
+      }
+      if (config_.wall_clock_limit > 0.0) check_watchdog(start);
+      assign_rates();
+      const double dt = next_step_duration();
+      if (dt == kInf) report_deadlock();  // running activities but none can progress
+      advance(dt);
     }
-    assign_rates();
-    const double dt = next_step_duration();
-    if (dt == kInf) report_deadlock();  // running activities but none can progress
-    advance(dt);
+  } catch (...) {
+    running_loop_ = false;
+    throw;
   }
   running_loop_ = false;
   if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void Engine::check_watchdog(const std::chrono::steady_clock::time_point& start) const {
+  // One steady_clock read per event step: negligible next to the step
+  // itself, and it bounds detection latency by a single step.
+  const double elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start).count();
+  if (elapsed <= config_.wall_clock_limit) return;
+  throw WatchdogError(
+      "watchdog: wall-clock limit of " + std::to_string(config_.wall_clock_limit) +
+      "s exceeded (" + std::to_string(elapsed) + "s elapsed) at simulated t=" +
+      std::to_string(now_) + " after " + std::to_string(steps_) + " step(s); " +
+      std::to_string(alive_actors_) + " actor(s) and " + std::to_string(running_.size()) +
+      " activit(ies) still live");
 }
 
 void Engine::drain_ready() {
@@ -343,21 +364,33 @@ void Engine::advance(double dt) {
 }
 
 void Engine::report_deadlock() const {
-  std::string blocked;
+  // Wait-for diagnosis: one line per blocked actor, using the diagnoser the
+  // higher layer installed (the replay engines report the blocking action
+  // and the last completed one), so a wedged replay names who waits on
+  // which mailbox/collective instead of just counting the blocked.
+  constexpr int kMaxDetailed = 16;
+  std::vector<std::string> blocked_names;
+  std::string detail;
   int shown = 0;
   for (const auto& rec : actors_) {
-    if (!rec->done) {
-      if (shown > 0) blocked += ", ";
-      if (shown == 8) {
-        blocked += "...";
-        break;
-      }
-      blocked += rec->ctx.name();
-      ++shown;
-    }
+    if (rec->done) continue;
+    blocked_names.push_back(rec->ctx.name());
+    if (shown == kMaxDetailed) continue;
+    ++shown;
+    detail += "\n  " + rec->ctx.name();
+    const std::string diag = rec->ctx.diagnose();
+    detail += diag.empty() ? ": blocked" : (": " + diag);
   }
-  throw SimError("deadlock at t=" + std::to_string(now_) + ": " +
-                 std::to_string(alive_actors_) + " actor(s) blocked forever [" + blocked + "]");
+  if (alive_actors_ > kMaxDetailed) {
+    detail += "\n  ... " + std::to_string(alive_actors_ - kMaxDetailed) + " more";
+  }
+  if (!running_.empty()) {
+    detail += "\n  (" + std::to_string(running_.size()) +
+              " activit(ies) exist but none can make progress)";
+  }
+  throw DeadlockError("deadlock at t=" + std::to_string(now_) + ": " +
+                          std::to_string(alive_actors_) + " actor(s) blocked forever" + detail,
+                      std::move(blocked_names));
 }
 
 }  // namespace tir::sim

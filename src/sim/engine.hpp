@@ -16,6 +16,7 @@
 // bit-identical simulated schedules.
 #pragma once
 
+#include <chrono>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -41,6 +42,11 @@ enum class Sharing {
 
 struct EngineConfig {
   Sharing sharing = Sharing::Uncontended;
+  /// Wall-clock (host time) budget for run(); 0 disables the watchdog.
+  /// When exceeded, run() stops at the next event-loop iteration and throws
+  /// WatchdogError with a progress snapshot — the graceful-cancellation path
+  /// for replays of traces that stall without ever deadlocking.
+  double wall_clock_limit = 0.0;
 };
 
 /// Awaitable for a single activity.
@@ -143,6 +149,7 @@ class Engine {
   struct ActorRec;
 
   void drain_ready();
+  void check_watchdog(const std::chrono::steady_clock::time_point& start) const;
   void assign_rates();
   double next_step_duration() const;
   void advance(double dt);
@@ -218,6 +225,17 @@ class Ctx {
     return WaitAnyAwaiter(std::move(acts));
   }
 
+  /// Install a diagnosis callback, called only when the engine must explain
+  /// why this actor is blocked (deadlock/watchdog reports).  Higher layers
+  /// (the replay engines) register one per rank that formats the rank's
+  /// current wait and last completed action; it costs nothing until a
+  /// failure actually needs diagnosing.  The callback may capture locals of
+  /// the actor's coroutine frame: it is only invoked while the actor is
+  /// suspended and not done, when that frame is alive.
+  void set_diagnoser(std::function<std::string()> fn) { diagnoser_ = std::move(fn); }
+  /// Diagnosis line for failure reports; empty if no diagnoser installed.
+  std::string diagnose() const { return diagnoser_ ? diagnoser_() : std::string(); }
+
  private:
   Engine& engine_;
   int index_;
@@ -225,6 +243,7 @@ class Ctx {
   platform::HostId host_;
   int core_;
   ActivityPtr keepalive_;  // last awaited activity (single outstanding wait)
+  std::function<std::string()> diagnoser_;
 };
 
 }  // namespace tir::sim

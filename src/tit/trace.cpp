@@ -11,6 +11,7 @@
 
 #include "base/error.hpp"
 #include "base/string_util.hpp"
+#include "tit/validate.hpp"
 
 namespace tir::tit {
 
@@ -343,54 +344,6 @@ Trace load_trace(const std::string& manifest_path, int nprocs) {
   return trace;
 }
 
-void validate(const Trace& trace) {
-  // Per ordered (src, dst) pair, sends must equal recvs; partners in range.
-  std::map<std::pair<int, int>, long> balance;
-  for (int p = 0; p < trace.nprocs(); ++p) {
-    bool saw_finalize = false;
-    for (const Action& a : trace.actions(p)) {
-      if (saw_finalize) {
-        throw Error("p" + std::to_string(p) + ": action after finalize: " + to_line(a));
-      }
-      switch (a.type) {
-        case ActionType::Send:
-        case ActionType::Isend:
-        case ActionType::Recv:
-        case ActionType::Irecv: {
-          if (a.partner < 0 || a.partner >= trace.nprocs()) {
-            throw Error("p" + std::to_string(p) + ": partner out of range: " + to_line(a));
-          }
-          if (a.partner == p) {
-            throw Error("p" + std::to_string(p) + ": self-message: " + to_line(a));
-          }
-          const bool is_send = a.type == ActionType::Send || a.type == ActionType::Isend;
-          const auto key = is_send ? std::pair{p, a.partner} : std::pair{a.partner, p};
-          balance[key] += is_send ? 1 : -1;
-          break;
-        }
-        case ActionType::Bcast:
-        case ActionType::Reduce:
-        case ActionType::Gather:
-        case ActionType::Scatter:
-          if (a.partner < 0 || a.partner >= trace.nprocs()) {
-            throw Error("p" + std::to_string(p) + ": root out of range: " + to_line(a));
-          }
-          break;
-        case ActionType::Finalize:
-          saw_finalize = true;
-          break;
-        default:
-          break;
-      }
-    }
-  }
-  for (const auto& [key, count] : balance) {
-    if (count != 0) {
-      throw Error("unbalanced p2p traffic p" + std::to_string(key.first) + " -> p" +
-                  std::to_string(key.second) + ": " + std::to_string(count) +
-                  " more sends than recvs");
-    }
-  }
-}
+void validate(const Trace& trace) { validate_or_throw(trace); }
 
 }  // namespace tir::tit

@@ -69,9 +69,10 @@ Trace load_trace(const std::string& manifest_path, int nprocs = -1);
 /// directory), blank lines skipped. Throws on unreadable/empty manifests.
 std::vector<std::string> read_manifest(const std::string& manifest_path);
 
-/// Structural validation: every send has a matching recv (per ordered pair),
-/// partners in range, init/finalize discipline. Throws tir::Error describing
-/// the first problem.
+/// Fail-fast structural validation: every send has a matching recv (per
+/// ordered pair), collective participation agrees, partners in range,
+/// init/finalize discipline. Throws MalformedTraceError describing the
+/// first problem. For the full structured report, see tit/validate.hpp.
 void validate(const Trace& trace);
 
 }  // namespace tir::tit

@@ -1,0 +1,74 @@
+// Static trace validation: cross-check per-rank action streams BEFORE
+// replay, so a malformed trace is a structured report instead of a wedged
+// simulator (ISSUE 2; Lagwankar 2024 makes the same point for replay
+// clocks: replay tooling is only trustworthy when mismatched or incomplete
+// event streams are detected and diagnosed, not silently replayed).
+//
+// Checks:
+//   - rank/partner bounds and self-messages;
+//   - per ordered (src, dst) pair: send count == recv count, and, where the
+//     new-format recv carries a size, FIFO volume agreement with the sends;
+//   - collective participation: every rank issues the same sequence of
+//     collective operations (type, root and, for symmetric collectives,
+//     communication volume agree at every site);
+//   - init/finalize discipline (no actions after finalize);
+//   - wait/waitall discipline (no wait without an outstanding nonblocking
+//     request; leftover requests at end of stream);
+//   - volume sanity (non-finite, negative, absurdly large).
+//
+// validate_trace() returns everything it found; validate_or_throw() raises
+// a MalformedTraceError carrying the first error for fail-fast callers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "tit/trace.hpp"
+
+namespace tir::tit {
+
+enum class Severity : std::uint8_t {
+  Warning,  ///< suspicious but replayable (e.g. recv size != send size)
+  Error,    ///< the trace cannot describe a real execution; replay will fail
+};
+
+/// One finding, anchored to the rank and action index that exposed it
+/// (rank/index are -1 for whole-trace findings such as pair imbalances).
+struct ValidationIssue {
+  Severity severity = Severity::Error;
+  ErrorCode code = ErrorCode::MalformedTrace;
+  int rank = -1;          ///< issuing rank, or -1
+  std::ptrdiff_t index = -1;  ///< action index within the rank's stream, or -1
+  std::string message;
+};
+
+struct ValidateOptions {
+  /// Stop collecting after this many issues (the counters keep counting).
+  std::size_t max_issues = 64;
+  /// Flag messages above this size/volume as suspicious (bytes/instructions).
+  double absurd_volume = 1e15;
+};
+
+/// The structured report (docs/robustness.md describes the rendered form).
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;  ///< first max_issues findings
+  std::size_t errors = 0;               ///< total errors found (not capped)
+  std::size_t warnings = 0;             ///< total warnings found (not capped)
+  std::size_t actions_checked = 0;
+  int nprocs = 0;
+
+  bool ok() const { return errors == 0; }
+};
+
+ValidationReport validate_trace(const Trace& trace, const ValidateOptions& options = {});
+
+/// Multi-line human-readable rendering ("p3 #42: [error] ...").
+std::string to_string(const ValidationReport& report);
+
+/// Fail-fast wrapper: throws MalformedTraceError with the first error (plus
+/// the error count) if the report has any; warnings alone pass.
+void validate_or_throw(const Trace& trace, const ValidateOptions& options = {});
+
+}  // namespace tir::tit

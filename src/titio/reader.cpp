@@ -37,8 +37,9 @@ Reader::Reader(const std::string& path, ReaderOptions options)
   in_.seekg(0, std::ios::end);
   file_size_ = static_cast<std::uint64_t>(in_.tellg());
   if (file_size_ < kHeaderBytes + kFooterBytes) {
-    throw ParseError("binary trace too short (" + std::to_string(file_size_) + " bytes): " +
-                     path);
+    throw CorruptFrameError(
+        "binary trace too short (" + std::to_string(file_size_) + " bytes): " + path,
+        file_size_);
   }
 
   std::array<std::uint8_t, kHeaderBytes> header{};
@@ -64,12 +65,16 @@ Reader::Reader(const std::string& path, ReaderOptions options)
   in_.read(reinterpret_cast<char*>(footer.data()), footer.size());
   if (!in_) throw ParseError("cannot read binary trace footer: " + path);
   if (get_u32(footer.data() + 16) != kEndMagic) {
-    throw ParseError("truncated binary trace (missing end marker): " + path);
+    // The footer is the resync anchor: without it there is no index and no
+    // recovery, so this is a typed corruption even in recover mode.
+    throw CorruptFrameError("truncated binary trace (missing end marker): " + path,
+                            file_size_ - kFooterBytes);
   }
   const std::uint64_t index_offset = get_u64(footer.data());
   total_actions_ = get_u64(footer.data() + 8);
   if (index_offset < kHeaderBytes || index_offset >= file_size_ - kFooterBytes) {
-    throw ParseError("corrupt index offset in binary trace: " + path);
+    throw CorruptFrameError("corrupt index offset in binary trace: " + path,
+                            file_size_ - kFooterBytes);
   }
 
   // The index frame spans [index_offset, file_size - footer).
@@ -80,20 +85,23 @@ Reader::Reader(const std::string& path, ReaderOptions options)
   if (!in_) throw ParseError("cannot read binary trace index: " + path);
 
   std::size_t pos = 0;
-  if (raw[pos++] != kIndexFrame) throw ParseError("corrupt index frame kind: " + path);
+  if (raw[pos++] != kIndexFrame) {
+    throw CorruptFrameError("corrupt index frame kind: " + path, index_offset);
+  }
   const std::uint64_t entries = binio::get_varint(raw.data(), raw.size(), pos);
   const std::uint64_t entries2 = binio::get_varint(raw.data(), raw.size(), pos);
   const std::uint64_t payload_bytes = binio::get_varint(raw.data(), raw.size(), pos);
   if (entries != entries2 || pos + payload_bytes + 4 != raw.size()) {
-    throw ParseError("corrupt index frame in binary trace: " + path);
+    throw CorruptFrameError("corrupt index frame in binary trace: " + path, index_offset);
   }
   const std::uint32_t want_crc = get_u32(raw.data() + pos + payload_bytes);
   if (binio::crc32(raw.data() + pos, static_cast<std::size_t>(payload_bytes)) != want_crc) {
-    throw ParseError("index frame CRC mismatch: " + path);
+    throw CorruptFrameError("index frame CRC mismatch: " + path, index_offset);
   }
 
   of_rank_.resize(static_cast<std::size_t>(nprocs_));
   cursors_.resize(static_cast<std::size_t>(nprocs_));
+  skipped_of_.resize(static_cast<std::size_t>(nprocs_), 0);
   frames_.reserve(static_cast<std::size_t>(entries));
   std::size_t p = pos;
   const std::size_t payload_end = pos + static_cast<std::size_t>(payload_bytes);
@@ -107,19 +115,23 @@ Reader::Reader(const std::string& path, ReaderOptions options)
     f.payload_bytes = binio::get_varint(raw.data(), payload_end, p);
     prev_offset = f.offset;
     if (rank >= nprocs) {
-      throw ParseError("index entry rank p" + std::to_string(rank) + " out of range: " + path);
+      throw CorruptFrameError("index entry rank p" + std::to_string(rank) + " out of range: " +
+                                  path,
+                              index_offset);
     }
     if (f.offset < kHeaderBytes || f.offset + f.payload_bytes + 4 > index_offset) {
-      throw ParseError("index entry offset out of bounds: " + path);
+      throw CorruptFrameError("index entry offset out of bounds: " + path, index_offset);
     }
     f.rank = static_cast<std::uint32_t>(rank);
     indexed_actions += f.actions;
     of_rank_[rank].push_back(frames_.size());
     frames_.push_back(f);
   }
-  if (p != payload_end) throw ParseError("trailing bytes in binary trace index: " + path);
+  if (p != payload_end) {
+    throw CorruptFrameError("trailing bytes in binary trace index: " + path, index_offset);
+  }
   if (indexed_actions != total_actions_) {
-    throw ParseError("index action count disagrees with footer: " + path);
+    throw CorruptFrameError("index action count disagrees with footer: " + path, index_offset);
   }
 }
 
@@ -128,6 +140,17 @@ std::uint64_t Reader::actions_of(int rank) const {
   std::uint64_t n = 0;
   for (const std::size_t f : of_rank_[static_cast<std::size_t>(rank)]) n += frames_[f].actions;
   return n;
+}
+
+std::uint64_t Reader::skipped_actions_of(int rank) const {
+  TIR_ASSERT(rank >= 0 && rank < nprocs_);
+  return skipped_of_[static_cast<std::size_t>(rank)];
+}
+
+void Reader::count_skip(int rank, std::uint64_t actions) {
+  ++skipped_frames_;
+  skipped_actions_ += actions;
+  skipped_of_[static_cast<std::size_t>(rank)] += actions;
 }
 
 void Reader::account(std::ptrdiff_t delta) {
@@ -154,70 +177,98 @@ void Reader::read_payload(const FrameRef& frame, std::vector<std::uint8_t>& payl
       std::min<std::size_t>(preamble.size(), static_cast<std::size_t>(file_size_ - frame.offset));
   in_.read(reinterpret_cast<char*>(preamble.data()), static_cast<std::streamsize>(want));
   if (in_.gcount() != static_cast<std::streamsize>(want)) {
-    throw ParseError("truncated frame at offset " + std::to_string(frame.offset) + ": " + path_);
+    throw CorruptFrameError("truncated frame: " + path_, frame.offset,
+                            static_cast<int>(frame.rank));
   }
   std::size_t pos = 0;
   if (preamble[pos++] != kActionFrame) {
-    throw ParseError("bad frame kind at offset " + std::to_string(frame.offset) + ": " + path_);
+    throw CorruptFrameError("bad frame kind: " + path_, frame.offset,
+                            static_cast<int>(frame.rank));
   }
-  const std::uint64_t rank = binio::get_varint(preamble.data(), want, pos);
-  const std::uint64_t actions = binio::get_varint(preamble.data(), want, pos);
-  const std::uint64_t payload_bytes = binio::get_varint(preamble.data(), want, pos);
+  std::uint64_t rank = 0, actions = 0, payload_bytes = 0;
+  try {
+    rank = binio::get_varint(preamble.data(), want, pos);
+    actions = binio::get_varint(preamble.data(), want, pos);
+    payload_bytes = binio::get_varint(preamble.data(), want, pos);
+  } catch (const Error&) {
+    throw CorruptFrameError("unreadable frame preamble: " + path_, frame.offset,
+                            static_cast<int>(frame.rank));
+  }
   if (rank != frame.rank || actions != frame.actions || payload_bytes != frame.payload_bytes) {
-    throw ParseError("frame at offset " + std::to_string(frame.offset) +
-                     " disagrees with index: " + path_);
+    throw CorruptFrameError("frame disagrees with index: " + path_, frame.offset,
+                            static_cast<int>(frame.rank));
   }
 
   payload.resize(static_cast<std::size_t>(payload_bytes) + 4);  // payload + CRC
   in_.seekg(static_cast<std::streamoff>(frame.offset + pos));
   in_.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(payload.size()));
   if (in_.gcount() != static_cast<std::streamsize>(payload.size())) {
-    throw ParseError("truncated frame payload at offset " + std::to_string(frame.offset) + ": " +
-                     path_);
+    throw CorruptFrameError("truncated frame payload: " + path_, frame.offset,
+                            static_cast<int>(frame.rank));
   }
   const std::uint32_t want_crc = get_u32(payload.data() + payload_bytes);
   payload.resize(static_cast<std::size_t>(payload_bytes));
   if (binio::crc32(payload.data(), payload.size()) != want_crc) {
-    throw ParseError("frame CRC mismatch at offset " + std::to_string(frame.offset) +
-                     " (rank p" + std::to_string(frame.rank) + "): " + path_);
+    throw CorruptFrameError("frame CRC mismatch: " + path_, frame.offset,
+                            static_cast<int>(frame.rank));
   }
 }
 
 bool Reader::advance_frame(int rank, Cursor& cursor) {
   const std::vector<std::size_t>& list = of_rank_[static_cast<std::size_t>(rank)];
-  if (cursor.next_frame >= list.size()) return false;
-  const FrameRef& frame = frames_[list[cursor.next_frame++]];
+  // The loop only repeats in recover mode, stepping over corrupt frames:
+  // the index (validated at open) is the resync anchor, so "skip" is simply
+  // "try the rank's next indexed frame".
+  while (cursor.next_frame < list.size()) {
+    const FrameRef& frame = frames_[list[cursor.next_frame++]];
 
-  // Invariant: buffered_ is the sum of payload+prefetched capacities over
-  // every cursor.
-  account(-static_cast<std::ptrdiff_t>(cursor.payload.capacity()));
-  if (cursor.has_prefetch) {
-    // The prefetched buffer becomes the current one; its bytes stay counted.
-    cursor.payload.swap(cursor.prefetched);
-    release(cursor.prefetched);
-    cursor.has_prefetch = false;
-  } else {
-    release(cursor.payload);
-    // Mandatory load: if the budget is exhausted, reclaim every cursor's
-    // prefetched frame first (those can be re-read on demand; the current
-    // frame cannot wait).
-    if (buffered_ + frame.payload_bytes + 4 > options_.buffer_bytes) drop_prefetches();
-    read_payload(frame, cursor.payload);
-    account(static_cast<std::ptrdiff_t>(cursor.payload.capacity()));
-  }
-  cursor.pos = 0;
-  cursor.remaining = frame.actions;
-
-  // Prefetch the following frame while the disk is warm, budget permitting.
-  if (cursor.next_frame < list.size()) {
-    const FrameRef& upcoming = frames_[list[cursor.next_frame]];
-    if (buffered_ + upcoming.payload_bytes + 4 <= options_.buffer_bytes) {
-      read_payload(upcoming, cursor.prefetched);
-      cursor.has_prefetch = true;
-      account(static_cast<std::ptrdiff_t>(cursor.prefetched.capacity()));
+    // Invariant: buffered_ is the sum of payload+prefetched capacities over
+    // every cursor.
+    account(-static_cast<std::ptrdiff_t>(cursor.payload.capacity()));
+    if (cursor.has_prefetch) {
+      // The prefetched buffer becomes the current one; its bytes stay counted.
+      cursor.payload.swap(cursor.prefetched);
+      release(cursor.prefetched);
+      cursor.has_prefetch = false;
+    } else {
+      release(cursor.payload);
+      // Mandatory load: if the budget is exhausted, reclaim every cursor's
+      // prefetched frame first (those can be re-read on demand; the current
+      // frame cannot wait).
+      if (buffered_ + frame.payload_bytes + 4 > options_.buffer_bytes) drop_prefetches();
+      try {
+        read_payload(frame, cursor.payload);
+      } catch (const CorruptFrameError&) {
+        if (!options_.recover) throw;
+        release(cursor.payload);
+        count_skip(rank, frame.actions);
+        continue;
+      }
+      account(static_cast<std::ptrdiff_t>(cursor.payload.capacity()));
     }
+    cursor.pos = 0;
+    cursor.remaining = frame.actions;
+
+    // Prefetch the following frame while the disk is warm, budget permitting.
+    if (cursor.next_frame < list.size()) {
+      const FrameRef& upcoming = frames_[list[cursor.next_frame]];
+      if (buffered_ + upcoming.payload_bytes + 4 <= options_.buffer_bytes) {
+        try {
+          read_payload(upcoming, cursor.prefetched);
+          cursor.has_prefetch = true;
+          account(static_cast<std::ptrdiff_t>(cursor.prefetched.capacity()));
+        } catch (const CorruptFrameError&) {
+          if (!options_.recover) throw;
+          // Leave it un-prefetched: its mandatory load above does the
+          // skip accounting exactly once.
+          release(cursor.prefetched);
+          cursor.has_prefetch = false;
+        }
+      }
+    }
+    return true;
   }
-  return true;
+  return false;
 }
 
 bool Reader::next(int rank, tit::Action& out) {
@@ -226,24 +277,41 @@ bool Reader::next(int rank, tit::Action& out) {
                 std::to_string(nprocs_) + "): " + path_);
   }
   Cursor& cursor = cursors_[static_cast<std::size_t>(rank)];
-  if (cursor.remaining == 0) {
-    if (!advance_frame(rank, cursor)) {
-      // Stream exhausted: release this cursor's buffers.
-      account(-static_cast<std::ptrdiff_t>(cursor.payload.capacity() +
-                                           cursor.prefetched.capacity()));
-      release(cursor.payload);
-      release(cursor.prefetched);
-      return false;
+  for (;;) {
+    if (cursor.remaining == 0) {
+      if (!advance_frame(rank, cursor)) {
+        // Stream exhausted: release this cursor's buffers.
+        account(-static_cast<std::ptrdiff_t>(cursor.payload.capacity() +
+                                             cursor.prefetched.capacity()));
+        release(cursor.payload);
+        release(cursor.prefetched);
+        return false;
+      }
     }
+    try {
+      out = decode_action(cursor.payload.data(), cursor.payload.size(), cursor.pos,
+                          static_cast<std::int32_t>(rank));
+    } catch (const Error&) {
+      // The CRC passed but the payload does not decode (a writer bug or a
+      // collision-masked corruption): strict mode propagates, recovery
+      // abandons the rest of this frame and resyncs to the next one.
+      if (!options_.recover) throw;
+      count_skip(rank, cursor.remaining);
+      cursor.remaining = 0;
+      continue;
+    }
+    --cursor.remaining;
+    if (cursor.remaining == 0 && cursor.pos != cursor.payload.size()) {
+      if (!options_.recover) {
+        throw ParseError("frame payload size disagrees with its action count (rank p" +
+                         std::to_string(rank) + "): " + path_);
+      }
+      // Recovery: the delivered actions decoded cleanly; note the frame as
+      // damaged (trailing bytes) without retracting them.
+      ++skipped_frames_;
+    }
+    return true;
   }
-  out = decode_action(cursor.payload.data(), cursor.payload.size(), cursor.pos,
-                      static_cast<std::int32_t>(rank));
-  --cursor.remaining;
-  if (cursor.remaining == 0 && cursor.pos != cursor.payload.size()) {
-    throw ParseError("frame payload size disagrees with its action count (rank p" +
-                     std::to_string(rank) + "): " + path_);
-  }
-  return true;
 }
 
 void Reader::verify() {

@@ -24,12 +24,21 @@ struct ReaderOptions {
   /// At minimum one frame per *active* rank is held regardless (a cursor
   /// cannot serve actions without its current frame).
   std::size_t buffer_bytes = 1u << 20;
+  /// Best-effort mode: on a corrupt action frame (CRC mismatch, truncation,
+  /// index disagreement), resync to the rank's next frame via the
+  /// end-of-file index instead of throwing, and count what was dropped
+  /// (skipped_frames()/skipped_actions()).  The header, footer and index
+  /// must still be intact — they are the resync anchor; damage there throws
+  /// CorruptFrameError even in this mode.  Default is strict: any damage
+  /// throws CorruptFrameError with the byte offset of the bad frame.
+  bool recover = false;
 };
 
 class Reader final : public ActionSource {
  public:
-  /// Opens and validates header, footer and index. Throws tir::Error /
-  /// tir::ParseError on anything malformed, truncated or corrupt.
+  /// Opens and validates header, footer and index. Throws
+  /// tir::CorruptFrameError on truncation or damage (with the byte offset),
+  /// tir::ParseError on a non-TITB file or unsupported version.
   explicit Reader(const std::string& path, ReaderOptions options = {});
 
   int nprocs() const override { return nprocs_; }
@@ -38,6 +47,15 @@ class Reader final : public ActionSource {
   std::uint64_t total_actions() const { return total_actions_; }
   std::uint64_t actions_of(int rank) const;
   std::size_t frame_count() const { return frames_.size(); }
+  /// The index, in file order (tooling: offsets, per-frame action counts).
+  const std::vector<FrameRef>& frames() const { return frames_; }
+
+  // --- corrupt-frame recovery accounting (ReaderOptions::recover) ---------
+  /// Frames dropped (or abandoned mid-decode) so far.
+  std::uint64_t skipped_frames() const { return skipped_frames_; }
+  /// Actions lost to dropped frames, total and per rank.
+  std::uint64_t skipped_actions() const override { return skipped_actions_; }
+  std::uint64_t skipped_actions_of(int rank) const;
 
   /// Currently buffered payload bytes across all cursors.
   std::size_t buffered_bytes() const { return buffered_; }
@@ -63,6 +81,7 @@ class Reader final : public ActionSource {
   bool advance_frame(int rank, Cursor& cursor);
   void account(std::ptrdiff_t delta);
   void drop_prefetches();
+  void count_skip(int rank, std::uint64_t actions);
 
   std::ifstream in_;
   std::string path_;
@@ -75,6 +94,9 @@ class Reader final : public ActionSource {
   std::vector<Cursor> cursors_;
   std::size_t buffered_ = 0;
   std::size_t peak_buffered_ = 0;
+  std::uint64_t skipped_frames_ = 0;
+  std::uint64_t skipped_actions_ = 0;
+  std::vector<std::uint64_t> skipped_of_;  ///< per-rank skipped actions
 };
 
 /// True if `path` starts with the TITB magic (cheap format sniff).

@@ -25,6 +25,12 @@ class ActionSource {
   /// exhausted. Ranks have independent cursors and may be pulled in any
   /// interleaving (the engines interleave them per simulated event).
   virtual bool next(int rank, tit::Action& out) = 0;
+
+  /// Actions known to exist but not delivered because the source dropped
+  /// damaged data (corrupt-frame recovery). Replay surfaces this as
+  /// ReplayResult::degraded so callers can distinguish a clean replay from
+  /// a best-effort one. Sources without a recovery mode report 0.
+  virtual std::uint64_t skipped_actions() const { return 0; }
 };
 
 /// Adapter over a fully materialized Trace: the existing in-memory API,

@@ -1,0 +1,202 @@
+// Static trace validation: the pre-replay cross-check of per-rank action
+// streams (send/recv matching, collective agreement, bounds, volume
+// sanity) and its structured report.
+#include "tit/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "tit/trace.hpp"
+
+namespace tir::tit {
+namespace {
+
+ValidationReport check(const std::string& text, int nprocs) {
+  return validate_trace(parse_trace_string(text, nprocs));
+}
+
+TEST(Validate, CleanTracePasses) {
+  const ValidationReport r = check(
+      "p0 init\np0 compute 1e9\np0 send p1 1024\np0 barrier\np0 finalize\n"
+      "p1 init\np1 recv p0 1024\np1 barrier\np1 finalize\n",
+      2);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.warnings, 0u);
+  EXPECT_EQ(r.actions_checked, 9u);
+  EXPECT_EQ(r.nprocs, 2);
+}
+
+TEST(Validate, UnmatchedRecvIsAnError) {
+  const ValidationReport r = check("p0 recv p1 10\n", 2);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.issues.empty());
+  EXPECT_EQ(r.issues[0].code, ErrorCode::MalformedTrace);
+  EXPECT_NE(r.issues[0].message.find("unbalanced"), std::string::npos);
+}
+
+TEST(Validate, UnmatchedSendIsAnError) {
+  EXPECT_FALSE(check("p0 send p1 10\n", 2).ok());
+}
+
+TEST(Validate, BalancedPairWithSizeMismatchIsAWarning) {
+  const ValidationReport r = check(
+      "p0 send p1 1024\n"
+      "p1 recv p0 2048\n",  // sizes disagree but counts match
+      2);
+  EXPECT_TRUE(r.ok());  // warnings do not fail validation
+  EXPECT_EQ(r.warnings, 1u);
+  EXPECT_NE(r.issues[0].message.find("size mismatch"), std::string::npos);
+}
+
+TEST(Validate, OldFormatRecvWithoutSizeIsClean) {
+  const ValidationReport r = check(
+      "p0 send p1 1024\n"
+      "p1 recv p0\n",  // old format: size unknown, cannot mismatch
+      2);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.warnings, 0u);
+}
+
+TEST(Validate, PartnerOutOfRangeAndSelfMessage) {
+  const ValidationReport r = check(
+      "p0 send p5 64\n"   // no rank p5
+      "p1 send p1 64\n",  // self-message
+      2);
+  EXPECT_EQ(r.errors, 2u);
+  EXPECT_NE(r.issues[0].message.find("partner out of range"), std::string::npos);
+  EXPECT_NE(r.issues[1].message.find("self-message"), std::string::npos);
+  EXPECT_EQ(r.issues[0].rank, 0);
+  EXPECT_EQ(r.issues[1].rank, 1);
+}
+
+TEST(Validate, CollectiveMissingParticipantIsAnError) {
+  const ValidationReport r = check(
+      "p0 barrier\n"
+      "p1 compute 10\n",  // p1 never reaches the barrier
+      2);
+  EXPECT_FALSE(r.ok());
+  ASSERT_FALSE(r.issues.empty());
+  EXPECT_NE(r.issues[0].message.find("never participates"), std::string::npos);
+  EXPECT_EQ(r.issues[0].rank, 1);
+}
+
+TEST(Validate, CollectiveTypeMismatchIsAnError) {
+  const ValidationReport r = check(
+      "p0 barrier\n"
+      "p1 allreduce 64 10\n",
+      2);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.issues[0].message.find("collective site 0"), std::string::npos);
+}
+
+TEST(Validate, CollectiveRootMismatchIsAnError) {
+  const ValidationReport r = check(
+      "p0 bcast 1024 0\n"
+      "p1 bcast 1024 1\n",  // roots disagree
+      2);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.issues[0].message.find("root disagrees"), std::string::npos);
+}
+
+TEST(Validate, CollectiveVolumeMismatchIsOnlyAWarning) {
+  // Real acquisitions can legitimately record per-rank volumes that differ
+  // (e.g. irregular gathers), so this must not fail validation.
+  const ValidationReport r = check(
+      "p0 allreduce 64 10\n"
+      "p1 allreduce 128 10\n",
+      2);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.warnings, 1u);
+  EXPECT_NE(r.issues[0].message.find("volume disagrees"), std::string::npos);
+}
+
+TEST(Validate, WaitWithoutRequestIsAnError) {
+  const ValidationReport r = check("p0 wait\n", 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.issues[0].message.find("wait with no outstanding"), std::string::npos);
+}
+
+TEST(Validate, LeakedNonblockingRequestIsAWarning) {
+  const ValidationReport r = check(
+      "p0 isend p1 64\n"
+      "p1 recv p0 64\n",  // isend never waited on
+      2);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.warnings, 1u);
+  EXPECT_NE(r.issues[0].message.find("never waited on"), std::string::npos);
+}
+
+TEST(Validate, WaitallCollectsOutstandingRequests) {
+  const ValidationReport r = check(
+      "p0 isend p1 64\np0 isend p1 64\np0 waitall\n"
+      "p1 irecv p0 64\np1 irecv p0 64\np1 waitall\n",
+      2);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.warnings, 0u);
+}
+
+TEST(Validate, ActionAfterFinalizeIsAnError) {
+  const ValidationReport r = check("p0 finalize\np0 compute 10\n", 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.issues[0].message.find("after finalize"), std::string::npos);
+  EXPECT_EQ(r.issues[0].index, 1);
+}
+
+TEST(Validate, NonFiniteAndNegativeVolumesAreErrors) {
+  Trace t(1);
+  t.push({ActionType::Compute, 0, -1, -5.0, 0});
+  t.push({ActionType::Compute, 0, -1, std::numeric_limits<double>::quiet_NaN(), 0});
+  const ValidationReport r = validate_trace(t);
+  EXPECT_EQ(r.errors, 2u);
+}
+
+TEST(Validate, AbsurdVolumeIsAWarning) {
+  ValidateOptions opt;
+  opt.absurd_volume = 1e6;
+  const Trace t = parse_trace_string("p0 compute 1e9\n", 1);
+  const ValidationReport r = validate_trace(t, opt);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.warnings, 1u);
+}
+
+TEST(Validate, IssueStorageIsCappedButCountsAreNot) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "p0 wait\n";
+  ValidateOptions opt;
+  opt.max_issues = 8;
+  const ValidationReport r = validate_trace(parse_trace_string(text, 1), opt);
+  EXPECT_EQ(r.errors, 100u);
+  EXPECT_EQ(r.issues.size(), 8u);
+  EXPECT_NE(to_string(r).find("92 more issue(s)"), std::string::npos);
+}
+
+TEST(Validate, ToStringRendersSummaryAndIssues) {
+  const std::string s = to_string(check("p0 send p0 64\n", 1));
+  EXPECT_NE(s.find("trace validation:"), std::string::npos);
+  EXPECT_NE(s.find("[error]"), std::string::npos);
+  EXPECT_NE(s.find("p0 #0"), std::string::npos);
+}
+
+TEST(Validate, ValidateOrThrowThrowsTypedError) {
+  const Trace bad = parse_trace_string("p0 recv p1 10\n", 2);
+  try {
+    validate_or_throw(bad);
+    FAIL() << "expected MalformedTraceError";
+  } catch (const MalformedTraceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::MalformedTrace);
+  }
+  EXPECT_NO_THROW(validate_or_throw(parse_trace_string("p0 compute 10\n", 1)));
+}
+
+TEST(Validate, LegacyValidateEntryPointUsesTheChecker) {
+  // tit::validate() is the historical API; it now routes through the full
+  // validator, so structural errors it previously missed are caught.
+  EXPECT_THROW(validate(parse_trace_string("p0 barrier\np1 compute 1\n", 2)),
+               MalformedTraceError);
+  EXPECT_NO_THROW(validate(parse_trace_string("p0 compute 10\n", 1)));
+}
+
+}  // namespace
+}  // namespace tir::tit
