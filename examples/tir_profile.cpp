@@ -1,0 +1,199 @@
+// tir-profile: replay a trace with the observability subsystem attached and
+// write the full dynamic profile:
+//
+//   $ ./tir-profile [-np N] [-platform FILE] [-rate INSTR_PER_S]
+//                   [-backend smpi|msg] [-contention] [-o BASENAME]
+//                   TRACE_MANIFEST|TRACE.titb
+//
+// Outputs:
+//   BASENAME.paje - per-rank state timeline in Paje format (open in ViTE)
+//   BASENAME.json - metrics report: per-rank compute/comm/wait breakdown,
+//                   eager vs. rendezvous traffic, collective time by type,
+//                   link busy time/utilization, critical path, diagnostics
+//
+// BASENAME defaults to "tir-profile".  On a wedged replay (deadlock or
+// watchdog) the profile is still written: the timeline ends at the wedge
+// point and the JSON carries each blocked rank's wait-for diagnosis.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/error.hpp"
+#include "base/units.hpp"
+#include "core/replay.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/paje.hpp"
+#include "obs/timeline.hpp"
+#include "platform/clusters.hpp"
+#include "platform/parse.hpp"
+#include "tit/trace.hpp"
+#include "titio/reader.hpp"
+
+namespace {
+
+using namespace tir;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-np N] [-platform FILE] [-rate INSTR_PER_S]\n"
+               "          [-backend smpi|msg] [-contention] [-o BASENAME]\n"
+               "          TRACE_MANIFEST|TRACE.titb\n",
+               argv0);
+}
+
+void print_rank_table(const obs::MetricsReport& report, const obs::CriticalPath& path) {
+  std::printf("\nper-rank time breakdown (seconds of simulated time):\n");
+  std::printf("%6s %10s %10s %10s %10s %10s  %s\n", "rank", "compute", "comm", "wait",
+              "on-path", "slack", "bytes sent");
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const obs::RankMetrics& m = report.ranks[r];
+    std::printf("%6zu %10.4f %10.4f %10.4f %10.4f %10.4f  %s\n", r, m.compute_seconds(),
+                m.comm_seconds(), m.wait_seconds(), path.rank_path_seconds[r],
+                path.rank_slack[r], units::format_bytes(m.bytes_sent).c_str());
+  }
+}
+
+void print_collectives(const obs::MetricsReport& report) {
+  if (report.collectives.empty()) return;
+  std::printf("\ncollective time by type (rank-seconds, summed over ranks):\n");
+  for (const obs::CollectiveMetrics& c : report.collectives) {
+    std::printf("  %-10s %6llu call(s) %10.4f s  %s\n", c.op.c_str(),
+                static_cast<unsigned long long>(c.sites), c.seconds,
+                units::format_bytes(c.bytes).c_str());
+  }
+}
+
+void print_links(const obs::MetricsReport& report) {
+  if (report.links.empty()) return;
+  // The per-host link pairs are numerous; show the busiest few.
+  std::printf("\nbusiest links (busy time under the assigned sharing model):\n");
+  std::size_t shown = 0;
+  for (const obs::LinkMetrics& l : report.links) {
+    if (shown == 5) {
+      std::printf("  ... %zu more link(s) in the JSON report\n", report.links.size() - shown);
+      break;
+    }
+    std::printf("  %-12s busy %8.4f s, %s, %5.1f%% utilized\n",
+                l.name.empty() ? ("link" + std::to_string(l.link)).c_str() : l.name.c_str(),
+                l.busy_seconds, units::format_bytes(l.bytes).c_str(), 100.0 * l.utilization);
+    ++shown;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int np = -1;
+  std::string platform_file;
+  std::string trace_path;
+  std::string out_base = "tir-profile";
+  double rate = 1e9;
+  bool use_msg = false;
+  bool contention = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-np" && i + 1 < argc) {
+      np = std::atoi(argv[++i]);
+    } else if (arg == "-platform" && i + 1 < argc) {
+      platform_file = argv[++i];
+    } else if (arg == "-rate" && i + 1 < argc) {
+      rate = std::atof(argv[++i]);
+    } else if (arg == "-backend" && i + 1 < argc) {
+      use_msg = std::strcmp(argv[++i], "msg") == 0;
+    } else if (arg == "-contention") {
+      contention = true;
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_base = argv[++i];
+    } else if (arg[0] != '-') {
+      trace_path = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    // Load through either trace form; the profile needs the rank count up
+    // front to build the default platform.
+    const tit::Trace trace = titio::is_binary_trace(trace_path)
+                                 ? titio::read_binary_trace(trace_path)
+                                 : tit::load_trace(trace_path, np);
+
+    platform::Platform platform;
+    if (platform_file.empty()) {
+      platform::ClusterSpec spec;
+      spec.prefix = "node";
+      spec.nodes = trace.nprocs();
+      spec.core_speed = rate;
+      spec.link_bandwidth = 1.25e8;
+      spec.link_latency = 3e-5;
+      platform::build_flat_cluster(platform, spec);
+      std::fprintf(stderr,
+                   "[tir-profile] no -platform given: using a default %d-node 1GbE cluster\n",
+                   trace.nprocs());
+    } else {
+      platform = platform::load_platform(platform_file);
+    }
+
+    obs::TimelineSink timeline;
+    core::ReplayConfig cfg;
+    cfg.rates = {rate};
+    cfg.sharing = contention ? sim::Sharing::MaxMin : sim::Sharing::Uncontended;
+    cfg.sink = &timeline;
+
+    core::ReplayResult result;
+    std::string failure;
+    try {
+      result = use_msg ? core::replay_msg(trace, platform, cfg)
+                       : core::replay_smpi(trace, platform, cfg);
+    } catch (const SimError& e) {
+      // Wedged replay: the timeline up to the wedge point plus the per-rank
+      // diagnosis is exactly what the profile is for.  Finish the profile,
+      // then report the failure through the exit status.
+      failure = e.what();
+    }
+
+    const obs::MetricsReport report =
+        obs::aggregate(timeline, cfg.mpi.eager_threshold, &platform);
+    const obs::CriticalPath path = obs::critical_path(timeline);
+
+    obs::write_paje(timeline, out_base + ".paje");
+    obs::write_json(report, out_base + ".json");
+
+    std::printf("trace            : %s (%d processes, %zu actions)\n", trace_path.c_str(),
+                trace.nprocs(), trace.total_actions());
+    std::printf("backend          : %s%s\n", use_msg ? "msg (old)" : "smpi (new)",
+                contention ? " + contention" : "");
+    if (failure.empty()) {
+      std::printf("simulated time   : %.6f s\n", report.simulated_time);
+      std::printf("replay wall-clock: %.3f s\n", result.wall_clock_seconds);
+      std::printf("critical path    : %.6f s busy of %.6f s elapsed (%.1f%% serialized)\n",
+                  path.busy_seconds, path.simulated_time,
+                  path.simulated_time > 0 ? 100.0 * path.busy_seconds / path.simulated_time
+                                          : 0.0);
+    } else {
+      std::printf("replay WEDGED at : %.6f s simulated (%zu diagnosis line(s) in JSON)\n",
+                  report.simulated_time, report.diagnoses.size());
+    }
+    print_rank_table(report, path);
+    print_collectives(report);
+    print_links(report);
+    std::printf("\ntimeline -> %s.paje (open with ViTE)\nmetrics  -> %s.json\n",
+                out_base.c_str(), out_base.c_str());
+    if (!failure.empty()) {
+      std::fprintf(stderr, "tir-profile: replay failed: %s\n", failure.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tir-profile: %s\n", e.what());
+    return 1;
+  }
+}

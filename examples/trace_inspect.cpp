@@ -24,11 +24,16 @@ namespace {
 
 using namespace tir;
 
+/// One slot per tit::ActionType, in enum order (Init .. Scatter).
+constexpr std::size_t kTypeCount = static_cast<std::size_t>(tit::ActionType::Scatter) + 1;
+
 struct RankSummary {
   std::size_t actions = 0;
-  double instructions = 0.0;
-  std::size_t messages = 0;
-  double bytes_sent = 0.0;
+  std::size_t by_type[kTypeCount] = {};
+  double instructions = 0.0;     ///< compute volume
+  std::size_t messages = 0;      ///< send + isend
+  double bytes_sent = 0.0;       ///< p2p payload
+  double collective_bytes = 0.0; ///< collective payload contributed by this rank
 };
 
 struct Summary {
@@ -40,7 +45,9 @@ struct Summary {
     tit::add_to_stats(total, a);
     RankSummary& r = ranks[static_cast<std::size_t>(a.proc)];
     ++r.actions;
+    ++r.by_type[static_cast<std::size_t>(a.type)];
     if (a.type == tit::ActionType::Compute) r.instructions += a.volume;
+    if (a.type >= tit::ActionType::Barrier) r.collective_bytes += a.volume;
     if (a.type == tit::ActionType::Send || a.type == tit::ActionType::Isend) {
       ++r.messages;
       r.bytes_sent += a.volume;
@@ -60,13 +67,36 @@ void print_summary(const Summary& s) {
               s.total.p2p_messages > 0 ? 100.0 * s.total.eager_messages / s.total.p2p_messages
                                        : 0.0);
 
-  std::printf("\nper-rank breakdown:\n");
-  std::printf("%6s %10s %12s %10s %14s\n", "rank", "actions", "instructions", "messages",
-              "bytes sent");
+  std::printf("\nper-rank breakdown (compute volume, p2p payload, collective payload):\n");
+  std::printf("%6s %10s %12s %10s %14s %14s\n", "rank", "actions", "instructions", "messages",
+              "p2p bytes", "coll bytes");
   for (std::size_t r = 0; r < s.ranks.size(); ++r) {
-    std::printf("%6zu %10zu %12.3e %10zu %14s\n", r, s.ranks[r].actions,
+    std::printf("%6zu %10zu %12.3e %10zu %14s %14s\n", r, s.ranks[r].actions,
                 s.ranks[r].instructions, s.ranks[r].messages,
-                units::format_bytes(s.ranks[r].bytes_sent).c_str());
+                units::format_bytes(s.ranks[r].bytes_sent).c_str(),
+                units::format_bytes(s.ranks[r].collective_bytes).c_str());
+  }
+
+  // Per-rank action-type counts, one column per type actually present
+  // (a trace rarely uses more than a handful of the 17 types).
+  std::vector<std::size_t> present;
+  for (std::size_t t = 0; t < kTypeCount; ++t) {
+    for (const RankSummary& r : s.ranks) {
+      if (r.by_type[t] > 0) {
+        present.push_back(t);
+        break;
+      }
+    }
+  }
+  std::printf("\nper-rank action-type counts:\n%6s", "rank");
+  for (const std::size_t t : present) {
+    std::printf(" %9s", tit::action_name(static_cast<tit::ActionType>(t)));
+  }
+  std::printf("\n");
+  for (std::size_t r = 0; r < s.ranks.size(); ++r) {
+    std::printf("%6zu", r);
+    for (const std::size_t t : present) std::printf(" %9zu", s.ranks[r].by_type[t]);
+    std::printf("\n");
   }
 
   const std::size_t peak = *std::max_element(s.histogram.begin(), s.histogram.end());

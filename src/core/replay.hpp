@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "obs/sink.hpp"
 #include "platform/platform.hpp"
 #include "sim/engine.hpp"
 #include "smpi/config.hpp"
@@ -42,6 +43,13 @@ struct ReplayConfig {
   /// Wall-clock budget for the whole replay (host seconds); 0 disables.
   /// On expiry the replay is cancelled gracefully with WatchdogError.
   double watchdog_seconds = 0.0;
+  /// Observability event sink (src/obs); not owned, must outlive the replay
+  /// call.  Null (the default) disables event emission entirely: the hook
+  /// points collapse to a raw-pointer check, verified to cost <1% replay
+  /// throughput by bench/eff_replay_speed.  Attach an obs::TimelineSink to
+  /// record the per-rank schedule, then feed it to obs::aggregate /
+  /// obs::write_paje / obs::critical_path (see docs/observability.md).
+  obs::Sink* sink = nullptr;
 
   /// Cross-check the config against the trace before spawning anything:
   /// a per-rank rate vector must cover every rank. Throws ConfigError

@@ -18,6 +18,7 @@
 
 #include "core/replay.hpp"
 #include "msg/msg.hpp"
+#include "obs/replay_events.hpp"
 
 namespace tir::core {
 
@@ -102,9 +103,20 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
   std::deque<msg::Request> outstanding;
   RankDiag diag;
   ctx.set_diagnoser([&diag] { return describe_rank(diag); });
+  obs::Sink* const sink = config.sink;  // hoisted: one load, no per-action deref
+  std::int64_t collective_site = 0;     // same numbering as the static validator
   tit::Action a;
   while (source.next(me, a)) {
     ++actions;
+    if (sink != nullptr) {
+      sink->on_phase_begin(obs::phase_event(me, a, collective_site), ctx.now());
+      if (obs::is_collective(a.type)) ++collective_site;
+      if (a.type == tit::ActionType::Send || a.type == tit::ActionType::Isend) {
+        // The MSG layer has no protocol split; classify by the old
+        // back-end's own 64 KiB async/blocking threshold.
+        sink->on_message(me, a.partner, a.volume, a.volume < kSmallMessage, false);
+      }
+    }
     switch (a.type) {
       case tit::ActionType::Init:
       case tit::ActionType::Finalize:
@@ -183,6 +195,7 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
         co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
         break;
     }
+    if (sink != nullptr) sink->on_phase_end(me, ctx.now());
     diag.last = a;
     ++diag.completed;
     diag.waiting.clear();  // keeps capacity: no per-action allocation
@@ -195,7 +208,8 @@ ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& p
                         const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   config.check(source.nprocs());
-  sim::Engine engine(platform, sim::EngineConfig{config.sharing, config.watchdog_seconds});
+  sim::Engine engine(platform,
+                     sim::EngineConfig{config.sharing, config.watchdog_seconds, config.sink});
   OldReplayShared shared(engine, source.nprocs());
 
   // Analytic model parameters from a representative host pair.

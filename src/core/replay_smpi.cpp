@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "core/replay.hpp"
+#include "obs/replay_events.hpp"
 #include "smpi/world.hpp"
 
 namespace tir::core {
@@ -54,9 +55,14 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
   std::deque<smpi::Request> outstanding;  // nonblocking ops in issue order
   RankDiag diag;
   ctx.set_diagnoser([&diag] { return describe_rank(diag); });
+  obs::Sink* const sink = config.sink;  // hoisted: one load, no per-action deref
   tit::Action a;
   while (source.next(me, a)) {
     ++actions;
+    if (sink != nullptr) {
+      sink->on_phase_begin(
+          obs::phase_event(me, a, static_cast<std::int64_t>(diag.collective_site)), ctx.now());
+    }
     switch (a.type) {
       case tit::ActionType::Init:
       case tit::ActionType::Finalize:
@@ -143,6 +149,7 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
         break;
       }
     }
+    if (sink != nullptr) sink->on_phase_end(me, ctx.now());
     diag.last = a;
     ++diag.completed;
     diag.waiting.clear();  // keeps capacity: no per-action allocation
@@ -155,7 +162,8 @@ ReplayResult replay_smpi(titio::ActionSource& source, const platform::Platform& 
                          const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   config.check(source.nprocs());
-  sim::Engine engine(platform, sim::EngineConfig{config.sharing, config.watchdog_seconds});
+  sim::Engine engine(platform,
+                     sim::EngineConfig{config.sharing, config.watchdog_seconds, config.sink});
   smpi::World world(engine, config.mpi, smpi::World::scatter_hosts(platform, source.nprocs()),
                     std::vector<int>(static_cast<std::size_t>(source.nprocs()), 0));
   ReplayResult result;

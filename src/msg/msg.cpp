@@ -2,7 +2,9 @@
 
 namespace tir::msg {
 
-sim::ActivityPtr Mailboxes::match(const Put& put, platform::HostId dst_host) {
+sim::ActivityPtr Mailboxes::match(const std::string& mailbox, const Put& put,
+                                  platform::HostId dst_host) {
+  if (obs::Sink* const sink = engine_.sink()) sink->on_mailbox_match(mailbox, put.bytes);
   sim::ActivityPtr comm = engine_.make_comm(put.src_host, dst_host, put.bytes);
   engine_.chain(comm, put.done);
   return comm;
@@ -19,7 +21,7 @@ Request Mailboxes::isend(sim::Ctx& ctx, const std::string& mailbox, double bytes
   if (!box.gets.empty()) {
     Get* get = box.gets.front();
     box.gets.pop_front();
-    get->comm = match(put, get->dst_host);
+    get->comm = match(mailbox, put, get->dst_host);
     get->bytes = bytes;
     engine_.complete_now(get->matched);
   } else {
@@ -33,7 +35,7 @@ sim::Coro Mailboxes::recv(sim::Ctx& ctx, const std::string& mailbox, double* byt
   if (!box.puts.empty()) {
     const Put put = box.puts.front();
     box.puts.pop_front();
-    const sim::ActivityPtr comm = match(put, ctx.host());
+    const sim::ActivityPtr comm = match(mailbox, put, ctx.host());
     if (bytes_out != nullptr) *bytes_out = put.bytes;
     co_await ctx.wait(comm);
     co_return;

@@ -63,8 +63,10 @@ class Mailboxes {
     std::deque<Get*> gets;
   };
 
-  /// Create and start the transfer for a matched (put, get) pair.
-  sim::ActivityPtr match(const Put& put, platform::HostId dst_host);
+  /// Create and start the transfer for a matched (put, get) pair, reporting
+  /// the match to the observability sink (if one is attached).
+  sim::ActivityPtr match(const std::string& mailbox, const Put& put,
+                         platform::HostId dst_host);
 
   sim::Engine& engine_;
   std::unordered_map<std::string, Box> boxes_;

@@ -1,0 +1,104 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+
+#include "base/error.hpp"
+
+namespace tir::obs {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+bool blocked_state(RankState s) { return s == RankState::Wait || s == RankState::Idle; }
+
+/// Last interval of `ivs` whose begin lies strictly before `t`, or -1.
+/// Intervals are sorted by begin (they are recorded in time order).
+int interval_before(const std::vector<Interval>& ivs, double t) {
+  const auto it = std::upper_bound(ivs.begin(), ivs.end(), t,
+                                   [](double v, const Interval& iv) { return v <= iv.begin; });
+  if (it == ivs.begin()) return -1;
+  return static_cast<int>(it - ivs.begin()) - 1;
+}
+
+}  // namespace
+
+CriticalPath critical_path(const TimelineSink& timeline) {
+  TIR_ASSERT(timeline.finalized());
+  const int n = timeline.nranks();
+  CriticalPath path;
+  path.simulated_time = timeline.finalized_time();
+  path.rank_path_seconds.assign(static_cast<std::size_t>(n), 0.0);
+  path.rank_slack.assign(static_cast<std::size_t>(n), path.simulated_time);
+  if (n == 0 || path.simulated_time <= 0.0) return path;
+
+  // Start on the rank whose last non-idle phase ends latest: the one whose
+  // completion defines the makespan.
+  int rank = 0;
+  double latest = -1.0;
+  for (int r = 0; r < n; ++r) {
+    const std::vector<Interval>& ivs = timeline.intervals(r);
+    for (auto it = ivs.rbegin(); it != ivs.rend(); ++it) {
+      if (it->state == RankState::Idle) continue;
+      if (it->end > latest) {
+        latest = it->end;
+        rank = r;
+      }
+      break;
+    }
+  }
+
+  double t = path.simulated_time;
+  int jumps_without_progress = 0;
+  while (t > kEps) {
+    const std::vector<Interval>& ivs = timeline.intervals(rank);
+    const int k = interval_before(ivs, t);
+    if (k < 0) {
+      // No recorded phase covers (0, t] on this rank (cannot happen for a
+      // finalized timeline, whose intervals tile from 0 — defensive only).
+      PathSegment seg;
+      seg.rank = rank;
+      seg.begin = 0.0;
+      seg.end = t;
+      seg.blocked = true;
+      path.segments.push_back(seg);
+      break;
+    }
+    const Interval& iv = ivs[static_cast<std::size_t>(k)];
+
+    // A receive is time spent blocked on a partner: the path continues on
+    // the partner's side at the same instant (the transfer and the receive
+    // complete together in replay).  Guarded against jump cycles between
+    // mutually-waiting ranks: after n fruitless jumps the interval is
+    // consumed in place as blocked time.
+    if (iv.state == RankState::Recv && iv.partner >= 0 && iv.partner < n &&
+        iv.partner != rank && jumps_without_progress < n) {
+      rank = iv.partner;
+      ++jumps_without_progress;
+      continue;
+    }
+
+    PathSegment seg;
+    seg.rank = rank;
+    seg.state = iv.state;
+    seg.begin = iv.begin;
+    seg.end = t;
+    seg.op = iv.op;
+    seg.blocked = blocked_state(iv.state) ||
+                  (iv.state == RankState::Recv && jumps_without_progress >= n);
+    path.segments.push_back(seg);
+    path.rank_path_seconds[static_cast<std::size_t>(rank)] += seg.duration();
+    if (!seg.blocked) path.busy_seconds += seg.duration();
+    t = iv.begin;
+    jumps_without_progress = 0;
+  }
+
+  std::reverse(path.segments.begin(), path.segments.end());
+  for (int r = 0; r < n; ++r) {
+    path.rank_slack[static_cast<std::size_t>(r)] =
+        path.simulated_time - path.rank_path_seconds[static_cast<std::size_t>(r)];
+  }
+  return path;
+}
+
+}  // namespace tir::obs

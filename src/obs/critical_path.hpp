@@ -1,0 +1,53 @@
+// Critical-path analysis of a recorded replay timeline.
+//
+// The walker runs backward from the makespan.  It starts on the rank whose
+// last non-idle phase ends latest and walks that rank's intervals towards
+// t=0.  When the cursor lands in a Recv interval (the rank was blocked until
+// a partner's message arrived), the path jumps to the partner rank at the
+// cursor time — in replay the receive completes at the same instant as the
+// transfer/sender side, so the partner's timeline explains the time the
+// receiver merely waited through.  Wait/Idle intervals (and Recv intervals
+// whose jump would loop) are consumed in place as blocked path segments.
+//
+// The emitted segments tile [0, simulated_time] exactly; each is attributed
+// to one rank.  Definitions (docs/observability.md):
+//   * busy_seconds: path time in non-blocked states (compute/send/recv-
+//     transfer/collective).  On a fully serialized dependency chain this
+//     equals simulated_time: there is no slack anywhere.
+//   * path_seconds(r): path time attributed to rank r.
+//   * slack(r) = simulated_time - path_seconds(r): time rank r is NOT on the
+//     critical path.  A rank with zero slack bounds the whole prediction;
+//     speeding up a rank with large slack cannot shorten it.
+#pragma once
+
+#include <vector>
+
+#include "obs/timeline.hpp"
+
+namespace tir::obs {
+
+struct PathSegment {
+  int rank = -1;
+  RankState state = RankState::Idle;
+  double begin = 0.0;
+  double end = 0.0;
+  const char* op = nullptr;  ///< action name, null for idle
+  bool blocked = false;      ///< waiting, not working
+
+  double duration() const { return end - begin; }
+};
+
+struct CriticalPath {
+  /// Path segments in increasing time order, tiling [0, simulated_time].
+  std::vector<PathSegment> segments;
+  double simulated_time = 0.0;
+  double busy_seconds = 0.0;                ///< non-blocked time on the path
+  std::vector<double> rank_path_seconds;    ///< per-rank time on the path
+  std::vector<double> rank_slack;           ///< simulated_time - path_seconds
+};
+
+/// Analyze a finalized timeline.  Works for both back-ends; the walk only
+/// needs states and partners, not protocol detail.
+CriticalPath critical_path(const TimelineSink& timeline);
+
+}  // namespace tir::obs

@@ -1,0 +1,241 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "base/error.hpp"
+#include "platform/platform.hpp"
+
+namespace tir::obs {
+
+namespace {
+
+/// Find-or-append by op name (a handful of collective types: linear scan).
+CollectiveMetrics& collective_slot(std::vector<CollectiveMetrics>& all, const char* op) {
+  for (CollectiveMetrics& c : all) {
+    if (c.op == op) return c;
+  }
+  all.push_back(CollectiveMetrics{op, 0, 0.0, 0.0});
+  return all.back();
+}
+
+void append_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+MetricsReport aggregate(const TimelineSink& timeline, double eager_threshold,
+                        const platform::Platform* platform) {
+  TIR_ASSERT(timeline.finalized());
+  MetricsReport report;
+  report.simulated_time = timeline.finalized_time();
+  report.steps = timeline.steps();
+  report.protocol = timeline.message_stats();
+  report.diagnoses = timeline.diagnoses();
+
+  report.ranks.resize(static_cast<std::size_t>(timeline.nranks()));
+  for (int r = 0; r < timeline.nranks(); ++r) {
+    RankMetrics& m = report.ranks[static_cast<std::size_t>(r)];
+    m.name = timeline.rank_name(r);
+    for (const Interval& iv : timeline.intervals(r)) {
+      m.by_state[static_cast<std::size_t>(iv.state)] += iv.duration();
+      if (iv.state != RankState::Idle) ++m.actions;
+      switch (iv.state) {
+        case RankState::Send:
+          ++m.messages;
+          m.bytes_sent += iv.bytes;
+          if (iv.bytes < eager_threshold) {
+            ++m.eager_messages;
+            m.eager_bytes += iv.bytes;
+          } else {
+            ++m.rendezvous_messages;
+            m.rendezvous_bytes += iv.bytes;
+          }
+          break;
+        case RankState::Collective: {
+          CollectiveMetrics& c = collective_slot(report.collectives, iv.op);
+          ++c.sites;
+          c.seconds += iv.duration();
+          c.bytes += iv.bytes;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    report.total_compute += m.compute_seconds();
+    report.total_comm += m.comm_seconds();
+    report.total_wait += m.wait_seconds();
+  }
+
+  const std::vector<LinkUsage>& usage = timeline.link_usage();
+  for (std::size_t l = 0; l < usage.size(); ++l) {
+    if (usage[l].bytes <= 0.0 && usage[l].busy_seconds <= 0.0) continue;
+    LinkMetrics lm;
+    lm.link = static_cast<int>(l);
+    lm.busy_seconds = usage[l].busy_seconds;
+    lm.bytes = usage[l].bytes;
+    if (platform != nullptr && l < platform->link_count()) {
+      const platform::Link& link = platform->link(static_cast<platform::LinkId>(l));
+      lm.name = link.name;
+      if (link.bandwidth > 0.0 && report.simulated_time > 0.0) {
+        lm.utilization = lm.bytes / (link.bandwidth * report.simulated_time);
+      }
+    }
+    report.links.push_back(std::move(lm));
+  }
+  return report;
+}
+
+std::string to_json(const MetricsReport& report) {
+  std::string out;
+  out.reserve(1024 + report.ranks.size() * 256);
+  out += "{\n  \"simulated_time\": ";
+  append_number(out, report.simulated_time);
+  out += ",\n  \"engine_steps\": ";
+  append_u64(out, report.steps);
+  out += ",\n  \"totals\": {\"compute\": ";
+  append_number(out, report.total_compute);
+  out += ", \"comm\": ";
+  append_number(out, report.total_comm);
+  out += ", \"wait\": ";
+  append_number(out, report.total_wait);
+  out += "},\n  \"ranks\": [";
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const RankMetrics& m = report.ranks[r];
+    out += r == 0 ? "\n" : ",\n";
+    out += "    {\"rank\": ";
+    append_u64(out, r);
+    out += ", \"name\": ";
+    append_escaped(out, m.name);
+    out += ", \"compute\": ";
+    append_number(out, m.compute_seconds());
+    out += ", \"comm\": ";
+    append_number(out, m.comm_seconds());
+    out += ", \"wait\": ";
+    append_number(out, m.wait_seconds());
+    out += ",\n     \"by_state\": {";
+    for (std::size_t s = 0; s < kRankStateCount; ++s) {
+      if (s != 0) out += ", ";
+      out += '"';
+      out += rank_state_name(static_cast<RankState>(s));
+      out += "\": ";
+      append_number(out, m.by_state[s]);
+    }
+    out += "},\n     \"actions\": ";
+    append_u64(out, m.actions);
+    out += ", \"messages\": ";
+    append_u64(out, m.messages);
+    out += ", \"bytes_sent\": ";
+    append_number(out, m.bytes_sent);
+    out += ",\n     \"eager\": {\"messages\": ";
+    append_u64(out, m.eager_messages);
+    out += ", \"bytes\": ";
+    append_number(out, m.eager_bytes);
+    out += "}, \"rendezvous\": {\"messages\": ";
+    append_u64(out, m.rendezvous_messages);
+    out += ", \"bytes\": ";
+    append_number(out, m.rendezvous_bytes);
+    out += "}}";
+  }
+  out += "\n  ],\n  \"collectives\": [";
+  for (std::size_t c = 0; c < report.collectives.size(); ++c) {
+    const CollectiveMetrics& cm = report.collectives[c];
+    out += c == 0 ? "\n" : ",\n";
+    out += "    {\"op\": ";
+    append_escaped(out, cm.op);
+    out += ", \"sites\": ";
+    append_u64(out, cm.sites);
+    out += ", \"seconds\": ";
+    append_number(out, cm.seconds);
+    out += ", \"bytes\": ";
+    append_number(out, cm.bytes);
+    out += "}";
+  }
+  out += "\n  ],\n  \"links\": [";
+  for (std::size_t l = 0; l < report.links.size(); ++l) {
+    const LinkMetrics& lm = report.links[l];
+    out += l == 0 ? "\n" : ",\n";
+    out += "    {\"link\": ";
+    append_u64(out, static_cast<std::uint64_t>(lm.link));
+    out += ", \"name\": ";
+    append_escaped(out, lm.name);
+    out += ", \"busy_seconds\": ";
+    append_number(out, lm.busy_seconds);
+    out += ", \"bytes\": ";
+    append_number(out, lm.bytes);
+    out += ", \"utilization\": ";
+    append_number(out, lm.utilization);
+    out += "}";
+  }
+  out += "\n  ],\n  \"protocol\": {\"eager\": {\"messages\": ";
+  append_u64(out, report.protocol.eager_messages);
+  out += ", \"bytes\": ";
+  append_number(out, report.protocol.eager_bytes);
+  out += "}, \"rendezvous\": {\"messages\": ";
+  append_u64(out, report.protocol.rendezvous_messages);
+  out += ", \"bytes\": ";
+  append_number(out, report.protocol.rendezvous_bytes);
+  out += "}, \"collective_internal\": {\"messages\": ";
+  append_u64(out, report.protocol.collective_messages);
+  out += ", \"bytes\": ";
+  append_number(out, report.protocol.collective_bytes);
+  out += "}},\n  \"diagnostics\": [";
+  for (std::size_t d = 0; d < report.diagnoses.size(); ++d) {
+    const Diagnosis& diag = report.diagnoses[d];
+    out += d == 0 ? "\n" : ",\n";
+    out += "    {\"actor\": ";
+    append_u64(out, static_cast<std::uint64_t>(diag.actor));
+    out += ", \"name\": ";
+    append_escaped(out, diag.name);
+    out += ", \"time\": ";
+    append_number(out, diag.time);
+    out += ", \"state\": ";
+    append_escaped(out, diag.text);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void write_json(const MetricsReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  const std::string body = to_json(report);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  out.flush();
+  if (!out) throw Error("failed writing " + path);
+}
+
+}  // namespace tir::obs

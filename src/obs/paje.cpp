@@ -1,0 +1,129 @@
+#include "obs/paje.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "base/error.hpp"
+
+namespace tir::obs {
+
+namespace {
+
+// Event ids within this trace (arbitrary but fixed by the header below).
+constexpr int kDefineContainerType = 0;
+constexpr int kDefineStateType = 1;
+constexpr int kDefineEntityValue = 2;
+constexpr int kCreateContainer = 3;
+constexpr int kDestroyContainer = 4;
+constexpr int kSetState = 5;
+
+const char* kHeader =
+    "%EventDef PajeDefineContainerType 0\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDefineStateType 1\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDefineEntityValue 2\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%  Color color\n"
+    "%EndEventDef\n"
+    "%EventDef PajeCreateContainer 3\n"
+    "%  Time date\n"
+    "%  Alias string\n"
+    "%  Type string\n"
+    "%  Container string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeDestroyContainer 4\n"
+    "%  Time date\n"
+    "%  Type string\n"
+    "%  Name string\n"
+    "%EndEventDef\n"
+    "%EventDef PajeSetState 5\n"
+    "%  Time date\n"
+    "%  Type string\n"
+    "%  Container string\n"
+    "%  Value string\n"
+    "%EndEventDef\n";
+
+/// ViTE-friendly colors per state ("r g b" with components in [0, 1]).
+const char* state_color(RankState s) {
+  switch (s) {
+    case RankState::Compute: return "0.2 0.7 0.2";
+    case RankState::Send: return "0.2 0.4 0.9";
+    case RankState::Recv: return "0.9 0.6 0.1";
+    case RankState::Wait: return "0.8 0.2 0.2";
+    case RankState::Collective: return "0.6 0.2 0.8";
+    case RankState::Idle: return "0.8 0.8 0.8";
+  }
+  return "0 0 0";
+}
+
+/// Times are printed with enough digits to round-trip event ordering and be
+/// deterministic across runs (replay itself is deterministic).
+void print_time(std::ostream& out, double t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9f", t);
+  out << buf;
+}
+
+}  // namespace
+
+void write_paje(const TimelineSink& timeline, std::ostream& out) {
+  TIR_ASSERT(timeline.finalized());
+  out << kHeader;
+
+  // Type hierarchy: program container > rank containers > rank-state states.
+  out << kDefineContainerType << " CT_Prog 0 \"program\"\n";
+  out << kDefineContainerType << " CT_Rank CT_Prog \"rank\"\n";
+  out << kDefineStateType << " ST_Rank CT_Rank \"rank state\"\n";
+  for (std::size_t s = 0; s < kRankStateCount; ++s) {
+    const auto state = static_cast<RankState>(s);
+    out << kDefineEntityValue << " V_" << rank_state_name(state) << " ST_Rank \""
+        << rank_state_name(state) << "\" \"" << state_color(state) << "\"\n";
+  }
+
+  out << kCreateContainer << " 0.000000000 C_Prog CT_Prog 0 \"replay\"\n";
+  for (int r = 0; r < timeline.nranks(); ++r) {
+    const std::string& name = timeline.rank_name(r);
+    out << kCreateContainer << " 0.000000000 C_R" << r << " CT_Rank C_Prog \""
+        << (name.empty() ? "rank" + std::to_string(r) : name) << "\"\n";
+  }
+
+  for (int r = 0; r < timeline.nranks(); ++r) {
+    for (const Interval& iv : timeline.intervals(r)) {
+      if (iv.duration() <= 0.0) continue;  // invisible; SetState would be overwritten
+      out << kSetState << ' ';
+      print_time(out, iv.begin);
+      out << " ST_Rank C_R" << r << " V_" << rank_state_name(iv.state) << "\n";
+    }
+  }
+
+  const double end = timeline.finalized_time();
+  for (int r = 0; r < timeline.nranks(); ++r) {
+    out << kDestroyContainer << ' ';
+    print_time(out, end);
+    out << " CT_Rank C_R" << r << "\n";
+  }
+  out << kDestroyContainer << ' ';
+  print_time(out, end);
+  out << " CT_Prog C_Prog\n";
+}
+
+void write_paje(const TimelineSink& timeline, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  write_paje(timeline, out);
+  out.flush();
+  if (!out) throw Error("failed writing " + path);
+}
+
+}  // namespace tir::obs

@@ -1,0 +1,26 @@
+// Paje trace export: the timeline in the format ViTE (and Paje-aware tools
+// generally) open directly — the same container/state event family SimGrid
+// itself emits.
+//
+// Layout: one container per rank under a root container, one state type
+// ("rank state") whose values are the obs::RankState names, and one
+// PajeSetState event per visible (non-zero-duration) interval.  Because the
+// recorded intervals tile [0, simulated_time], consecutive SetState events
+// fully describe each rank's trajectory; containers are destroyed at the
+// end time so the trace has a well-defined horizon.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/timeline.hpp"
+
+namespace tir::obs {
+
+/// Write the finalized timeline as a Paje trace.
+void write_paje(const TimelineSink& timeline, std::ostream& out);
+
+/// Convenience: write to `path`; throws tir::Error on I/O failure.
+void write_paje(const TimelineSink& timeline, const std::string& path);
+
+}  // namespace tir::obs

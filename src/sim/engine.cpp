@@ -17,6 +17,16 @@ std::uint64_t pair_key(platform::HostId a, platform::HostId b) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
          static_cast<std::uint32_t>(b);
 }
+
+// The engine casts its Activity::Kind straight into the sink's mirror enum.
+static_assert(static_cast<int>(obs::ActivityKind::Exec) ==
+                  static_cast<int>(Activity::Kind::Exec) &&
+              static_cast<int>(obs::ActivityKind::Comm) ==
+                  static_cast<int>(Activity::Kind::Comm) &&
+              static_cast<int>(obs::ActivityKind::Timer) ==
+                  static_cast<int>(Activity::Kind::Timer) &&
+              static_cast<int>(obs::ActivityKind::Gate) ==
+                  static_cast<int>(Activity::Kind::Gate));
 }  // namespace
 
 std::coroutine_handle<> Coro::promise_type::FinalAwaiter::await_suspend(Handle h) noexcept {
@@ -66,6 +76,7 @@ int Engine::spawn(std::string name, platform::HostId host, int core, ActorFn fn)
   rec.coro.handle().promise().actor_index = index;
   ++alive_actors_;
   ready_.push_back(rec.coro.handle());
+  if (config_.sink != nullptr) config_.sink->on_actor_spawn(index, rec.ctx.name(), host);
   return index;
 }
 
@@ -81,6 +92,7 @@ void Engine::on_actor_done(int actor_index, std::exception_ptr exception) {
   rec.done = true;
   --alive_actors_;
   if (exception && !first_error_) first_error_ = exception;
+  if (config_.sink != nullptr) config_.sink->on_actor_done(actor_index, now_);
 }
 
 void Engine::run() {
@@ -101,7 +113,11 @@ void Engine::run() {
       if (dt == kInf) report_deadlock();  // running activities but none can progress
       advance(dt);
     }
+    if (config_.sink != nullptr) config_.sink->on_sim_end(now_);
   } catch (...) {
+    // Abnormal end (deadlock, watchdog, actor exception mid-resume): the
+    // sink still gets its closing event so partial timelines stay readable.
+    if (config_.sink != nullptr) config_.sink->on_sim_end(now_);
     running_loop_ = false;
     throw;
   }
@@ -115,6 +131,7 @@ void Engine::check_watchdog(const std::chrono::steady_clock::time_point& start) 
   const double elapsed = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - start).count();
   if (elapsed <= config_.wall_clock_limit) return;
+  emit_diagnoses();
   throw WatchdogError(
       "watchdog: wall-clock limit of " + std::to_string(config_.wall_clock_limit) +
       "s exceeded (" + std::to_string(elapsed) + "s elapsed) at simulated t=" +
@@ -233,6 +250,9 @@ void Engine::chain(const ActivityPtr& source, const ActivityPtr& gate) {
 void Engine::add_running(const ActivityPtr& act) {
   act->run_slot = static_cast<std::int32_t>(running_.size());
   running_.push_back(act);
+  if (config_.sink != nullptr) {
+    config_.sink->on_activity_start(static_cast<obs::ActivityKind>(act->kind), act->seq, now_);
+  }
 }
 
 void Engine::remove_running(Activity& act) {
@@ -248,6 +268,9 @@ void Engine::remove_running(Activity& act) {
 }
 
 void Engine::complete(Activity& act) {
+  if (config_.sink != nullptr) {
+    config_.sink->on_activity_finish(static_cast<obs::ActivityKind>(act.kind), act.seq, now_);
+  }
   // Wake waiters in registration order. Chained gates complete recursively;
   // take ownership of the waiter list first since completing a chained gate
   // may re-enter complete().
@@ -327,6 +350,8 @@ double Engine::next_step_duration() const {
 void Engine::advance(double dt) {
   now_ += dt;
   ++steps_;
+  obs::Sink* const sink = config_.sink;
+  if (sink != nullptr) sink->on_time_advance(now_, dt);
   const double time_slack = kTimeEps * std::max(1.0, now_);
   // Collect completions first: completing mutates running_ (swap-erase).
   static thread_local std::vector<ActivityPtr> finished;
@@ -342,6 +367,12 @@ void Engine::advance(double dt) {
           a->latency_left -= dt;
           if (a->latency_left <= time_slack) a->latency_left = 0.0;
         } else {
+          if (sink != nullptr && a->rate > 0.0) {
+            sink->on_comm_progress(
+                a->route != nullptr ? std::span<const platform::LinkId>(a->route->links)
+                                    : std::span<const platform::LinkId>(),
+                a->rate, dt);
+          }
           a->remaining -= a->rate * dt;
           if (a->remaining <= kWorkEps) finished.push_back(a);
         }
@@ -363,7 +394,19 @@ void Engine::advance(double dt) {
   }
 }
 
+void Engine::emit_diagnoses() const {
+  // Route the wait-for diagnosis of every still-blocked actor through the
+  // event sink, so a wedged replay's last-known per-rank state lands in the
+  // same timeline/JSON as the regular events (not only in the error text).
+  if (config_.sink == nullptr) return;
+  for (const auto& rec : actors_) {
+    if (rec->done) continue;
+    config_.sink->on_diagnosis(rec->ctx.index(), rec->ctx.name(), rec->ctx.diagnose(), now_);
+  }
+}
+
 void Engine::report_deadlock() const {
+  emit_diagnoses();
   // Wait-for diagnosis: one line per blocked actor, using the diagnoser the
   // higher layer installed (the replay engines report the blocking action
   // and the last completed one), so a wedged replay names who waits on

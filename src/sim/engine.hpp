@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "platform/platform.hpp"
 #include "sim/activity.hpp"
 #include "sim/coro.hpp"
@@ -47,6 +48,10 @@ struct EngineConfig {
   /// WatchdogError with a progress snapshot — the graceful-cancellation path
   /// for replays of traces that stall without ever deadlocking.
   double wall_clock_limit = 0.0;
+  /// Observability event sink; not owned, must outlive the engine.  Null
+  /// (the default) disables every hook at the cost of one predictable
+  /// branch per hook point — no virtual dispatch on the hot path.
+  obs::Sink* sink = nullptr;
 };
 
 /// Awaitable for a single activity.
@@ -100,6 +105,9 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   const platform::Platform& platform() const { return platform_; }
+  /// The attached observability sink (null when none): higher layers guard
+  /// their own event emission with `if (auto* s = engine.sink()) ...`.
+  obs::Sink* sink() const { return config_.sink; }
   SimTime now() const { return now_; }
   std::uint64_t steps() const { return steps_; }            ///< time advances
   std::uint64_t activities_created() const { return seq_; } ///< total activities
@@ -157,6 +165,7 @@ class Engine {
   void add_running(const ActivityPtr& act);
   void remove_running(Activity& act);
   const platform::Route* cached_route(platform::HostId src, platform::HostId dst);
+  void emit_diagnoses() const;
   [[noreturn]] void report_deadlock() const;
 
   const platform::Platform& platform_;

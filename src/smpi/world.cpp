@@ -98,6 +98,11 @@ Request World::isend(sim::Ctx& ctx, int me, int dst, double bytes, int tag) {
   TIR_ASSERT(dst >= 0 && dst < size());
   ++stats_.sends;
   stats_.bytes_sent += bytes;
+  if (obs::Sink* const sink = engine_.sink()) {
+    // Protocol truth for the observability layer: which path this message
+    // actually took, and whether it is collective-internal traffic.
+    sink->on_message(me, dst, bytes, is_eager(bytes), tag == kCollectiveTag);
+  }
   Message msg;
   msg.src = me;
   msg.tag = tag;
