@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_replay_speed.json against the checked-in baseline.
+
+Used by the bench-regression CI job (.github/workflows/ci.yml): every
+throughput figure in the report is matched against the same figure in
+bench/baselines/BENCH_replay_speed.json.  A drop of more than --fail-drop
+(default 15%) on any figure fails the job; more than --warn-drop (default
+5%) prints a warning but passes.  Correctness flags embedded in the report
+(the incremental-kernel speedup gate and the sink-overhead budget) fail the
+comparison outright regardless of the baseline.
+
+Only the standard library is used, so the script runs on any CI python3.
+
+Exit codes: 0 pass (possibly with warnings), 1 regression or failed gate,
+2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def collect_rates(report):
+    """Flatten every actions_per_second figure into {label: rate}."""
+    rates = {}
+    for c in report.get("cases", []):
+        key = "case[{label} np={procs} it={iters}]".format(**c)
+        for backend in ("smpi", "msg"):
+            if backend in c:
+                rates[key + "." + backend] = c[backend]["actions_per_second"]
+    for s in report.get("streaming", []):
+        # actions disambiguate the same instance at different lengths
+        key = "streaming[{label} np={procs} a={actions:.0f}]".format(**s)
+        for path in ("text", "titb"):
+            if path in s:
+                rates[key + "." + path] = s[path]["actions_per_second"]
+    for k in report.get("incremental_kernel", []):
+        key = "kernel[{flows} flows]".format(**k)
+        for mode in ("full", "incremental"):
+            if mode in k:
+                rates[key + "." + mode] = k[mode]["actions_per_second"]
+    sink = report.get("null_sink")
+    if sink:
+        rates["null_sink.no_sink"] = sink["no_sink"]["actions_per_second"]
+        rates["null_sink.with_null_sink"] = sink["with_null_sink"]["actions_per_second"]
+    return rates
+
+
+def check_gates(report):
+    """Pass/fail flags the bench computed itself; failing them is always fatal."""
+    failures = []
+    sink = report.get("null_sink")
+    if sink and not sink.get("pass", True):
+        failures.append(
+            "null-sink dispatch overhead {:.2%} exceeds budget {:.0%}".format(
+                sink["overhead_fraction"], sink["budget_fraction"]
+            )
+        )
+    for k in report.get("incremental_kernel", []):
+        if not k.get("pass", True):
+            failures.append(
+                "incremental kernel at {} flows: speedup {:.2f}x"
+                " (required {:.1f}x, identical_prediction={})".format(
+                    k["flows"], k["speedup"], k["required_speedup"],
+                    k["identical_prediction"],
+                )
+            )
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly produced BENCH_replay_speed.json")
+    ap.add_argument("baseline", help="checked-in baseline to compare against")
+    ap.add_argument("--fail-drop", type=float, default=0.15,
+                    help="fractional throughput drop that fails the job")
+    ap.add_argument("--warn-drop", type=float, default=0.05,
+                    help="fractional throughput drop that prints a warning")
+    args = ap.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print("compare_bench: cannot load reports: {}".format(e), file=sys.stderr)
+        return 2
+
+    cur_rates = collect_rates(current)
+    base_rates = collect_rates(baseline)
+
+    failures = check_gates(current)
+    warnings = []
+    compared = 0
+    for label, base in sorted(base_rates.items()):
+        cur = cur_rates.get(label)
+        if cur is None:
+            warnings.append("{}: present in baseline but missing from current run".format(label))
+            continue
+        if base <= 0:
+            continue
+        compared += 1
+        drop = 1.0 - cur / base
+        line = "{:<44} base {:>12.0f} a/s  now {:>12.0f} a/s  ({:+.1%})".format(
+            label, base, cur, -drop)
+        if drop > args.fail_drop:
+            failures.append(line)
+        elif drop > args.warn_drop:
+            warnings.append(line)
+        else:
+            print("ok   " + line)
+    for label in sorted(set(cur_rates) - set(base_rates)):
+        print("new  {:<44} {:>12.0f} a/s (no baseline yet)".format(label, cur_rates[label]))
+
+    for w in warnings:
+        print("WARN " + w)
+    for f in failures:
+        print("FAIL " + f)
+    print("compare_bench: {} figures compared, {} warnings, {} failures".format(
+        compared, len(warnings), len(failures)))
+    if compared == 0:
+        print("FAIL no comparable figures found -- baseline or report malformed")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@
 #include "msg/msg.hpp"
 #include "platform/clusters.hpp"
 #include "sim/engine.hpp"
+#include "sim/maxmin.hpp"
 #include "smpi/world.hpp"
 #include "tit/trace.hpp"
 
@@ -84,6 +85,68 @@ void BM_MaxMinContention(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_MaxMinContention)->Arg(16)->Arg(64);
+
+// Full vs. partial re-solve on a persistent flow set: n flows spread over
+// n/8 single-link components, one flow removed and re-added per iteration.
+// solve_all() revisits all n flows every time; solve_partial() touches only
+// the 8-flow component the mutation dirtied, so the gap between the two
+// curves is the whole point of the incremental kernel
+// (docs/simulation_kernel.md).
+sim::MaxMinSolver incremental_fixture(int n, std::vector<int>& ids) {
+  const int n_links = n / 8;
+  std::vector<platform::Link> links(static_cast<std::size_t>(n_links));
+  for (int l = 0; l < n_links; ++l) {
+    links[static_cast<std::size_t>(l)].id = l;
+    links[static_cast<std::size_t>(l)].bandwidth = 1e8;
+  }
+  sim::MaxMinSolver s;
+  s.reset_links(links);
+  platform::LinkId route[1];
+  for (int i = 0; i < n; ++i) {
+    route[0] = i % n_links;
+    ids.push_back(s.add_flow(route, 1e18));
+  }
+  s.solve_partial();
+  return s;
+}
+
+void BM_MaxMinFullReSolve(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<int> ids;
+  sim::MaxMinSolver s = incremental_fixture(n, ids);
+  platform::LinkId route[1];
+  int victim = 0;
+  for (auto _ : state) {
+    route[0] = victim % (n / 8);
+    s.remove_flow(ids[static_cast<std::size_t>(victim)]);
+    ids[static_cast<std::size_t>(victim)] = s.add_flow(route, 1e18);
+    benchmark::DoNotOptimize(s.solve_all().size());
+    victim = (victim + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flows_per_solve"] =
+      static_cast<double>(s.counters().flows_visited) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MaxMinFullReSolve)->Arg(1000)->Arg(10000);
+
+void BM_MaxMinPartialReSolve(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  std::vector<int> ids;
+  sim::MaxMinSolver s = incremental_fixture(n, ids);
+  platform::LinkId route[1];
+  int victim = 0;
+  for (auto _ : state) {
+    route[0] = victim % (n / 8);
+    s.remove_flow(ids[static_cast<std::size_t>(victim)]);
+    ids[static_cast<std::size_t>(victim)] = s.add_flow(route, 1e18);
+    benchmark::DoNotOptimize(s.solve_partial().size());
+    victim = (victim + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["flows_per_solve"] =
+      static_cast<double>(s.counters().flows_visited) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MaxMinPartialReSolve)->Arg(1000)->Arg(10000);
 
 void BM_Allreduce(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));

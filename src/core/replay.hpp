@@ -45,11 +45,18 @@ struct ReplayConfig {
   double watchdog_seconds = 0.0;
   /// Observability event sink (src/obs); not owned, must outlive the replay
   /// call.  Null (the default) disables event emission entirely: the hook
-  /// points collapse to a raw-pointer check, verified to cost <1% replay
-  /// throughput by bench/eff_replay_speed.  Attach an obs::TimelineSink to
+  /// points collapse to a raw-pointer check (bench/eff_replay_speed bounds
+  /// even the cost of an attached no-op sink at 5% of no-sink throughput).
+  /// Attach an obs::TimelineSink to
   /// record the per-rank schedule, then feed it to obs::aggregate /
   /// obs::write_paje / obs::critical_path (see docs/observability.md).
   obs::Sink* sink = nullptr;
+  /// Simulation-kernel solver strategy (docs/simulation_kernel.md).  The
+  /// default incremental path re-solves only the sharing-graph components a
+  /// step actually dirtied; Resolve::Full re-solves everything every step
+  /// and exists as the reference for differential tests and benchmarks —
+  /// both produce bit-identical predictions.
+  sim::Resolve resolve = sim::Resolve::Incremental;
 
   /// Cross-check the config against the trace before spawning anything:
   /// a per-rank rate vector must cover every rank. Throws ConfigError

@@ -208,8 +208,8 @@ ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& p
                         const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   config.check(source.nprocs());
-  sim::Engine engine(platform,
-                     sim::EngineConfig{config.sharing, config.watchdog_seconds, config.sink});
+  sim::Engine engine(platform, sim::EngineConfig{config.sharing, config.watchdog_seconds,
+                                                 config.sink, config.resolve});
   OldReplayShared shared(engine, source.nprocs());
 
   // Analytic model parameters from a representative host pair.

@@ -162,8 +162,8 @@ ReplayResult replay_smpi(titio::ActionSource& source, const platform::Platform& 
                          const ReplayConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
   config.check(source.nprocs());
-  sim::Engine engine(platform,
-                     sim::EngineConfig{config.sharing, config.watchdog_seconds, config.sink});
+  sim::Engine engine(platform, sim::EngineConfig{config.sharing, config.watchdog_seconds,
+                                                 config.sink, config.resolve});
   smpi::World world(engine, config.mpi, smpi::World::scatter_hosts(platform, source.nprocs()),
                     std::vector<int>(static_cast<std::size_t>(source.nprocs()), 0));
   ReplayResult result;

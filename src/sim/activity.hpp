@@ -9,6 +9,12 @@
 // one: a communication is typically referenced by its sender, its receiver,
 // and the engine's running set.  At most a handful of waiters register on an
 // activity; they are resumed in registration order when it completes.
+//
+// Progress is tracked lazily: `remaining` is exact only as of `anchor` (the
+// simulated time it was last materialized), and the engine's time heap keys
+// on `heap_key`, the projected completion time anchor + remaining / rate.
+// Between rate changes nothing is touched — an activity whose rate never
+// changes costs O(log n) over its whole lifetime, not O(steps).
 #pragma once
 
 #include <coroutine>
@@ -49,22 +55,29 @@ struct Activity {
   State state = State::Pending;
   std::uint64_t seq = 0;      ///< creation sequence (debugging/determinism)
   std::int32_t run_slot = -1; ///< index in the engine's running set, -1 if absent
+  std::int32_t heap_slot = -1;  ///< index in the engine's time heap, -1 if absent
 
   // Exec fields.
   std::int32_t core_index = -1;   ///< flattened (host, core) slot
+  std::int32_t core_slot = -1;    ///< index in the core's exec list, -1 if absent
   double nominal_rate = 0.0;      ///< instructions/s when alone on the core
 
   // Comm fields.
   const platform::Route* route = nullptr;  ///< nullptr for loopback
   double latency_left = 0.0;               ///< seconds of latency still to pay
   double bw_bound = 0.0;                   ///< per-flow rate cap (bytes/s)
+  std::int32_t flow_id = -1;               ///< max-min solver flow id, -1 if none
+  std::int32_t xfer_slot = -1;             ///< index in the engine's transfer list
+                                           ///< (latency paid, bytes moving), -1 if absent
 
   // Timer fields.
   SimTime deadline = 0.0;
 
-  // Shared progress state.
-  double remaining = 0.0;  ///< instructions or bytes left
-  double rate = 0.0;       ///< current assigned rate (set each engine step)
+  // Shared progress state (lazy; see the header comment).
+  double remaining = 0.0;  ///< instructions or bytes left as of `anchor`
+  double rate = 0.0;       ///< currently assigned rate
+  SimTime anchor = 0.0;    ///< time `remaining` was last materialized
+  SimTime heap_key = 0.0;  ///< projected completion time (heap ordering key)
 
   std::vector<Waiter> waiters;
 

@@ -50,7 +50,7 @@ struct Engine::ActorRec {
 };
 
 Engine::Engine(const platform::Platform& platform, EngineConfig config)
-    : platform_(platform), config_(config) {
+    : platform_(platform), config_(config), pool_(std::make_shared<PoolResource>()) {
   host_core_offset_.resize(platform.host_count() + 1, 0);
   int total = 0;
   for (std::size_t h = 0; h < platform.host_count(); ++h) {
@@ -59,6 +59,8 @@ Engine::Engine(const platform::Platform& platform, EngineConfig config)
   }
   host_core_offset_[platform.host_count()] = total;
   core_load_.assign(static_cast<std::size_t>(total), 0);
+  core_execs_.resize(static_cast<std::size_t>(total));
+  core_dirty_.assign(static_cast<std::size_t>(total), 0);
   solver_.reset_links(platform.links());
 }
 
@@ -108,10 +110,11 @@ void Engine::run() {
         break;
       }
       if (config_.wall_clock_limit > 0.0) check_watchdog(start);
-      assign_rates();
-      const double dt = next_step_duration();
-      if (dt == kInf) report_deadlock();  // running activities but none can progress
-      advance(dt);
+      refresh_rates();
+      // Only non-progressing activities (gates) left running, or every
+      // projected completion is at infinity: nothing can ever fire.
+      if (heap_.empty() || heap_.top_key() == kInf) report_deadlock();
+      advance_to(heap_.top_key());
     }
     if (config_.sink != nullptr) config_.sink->on_sim_end(now_);
   } catch (...) {
@@ -149,11 +152,36 @@ void Engine::drain_ready() {
   }
 }
 
+ActivityPtr Engine::make_activity() {
+  return std::allocate_shared<Activity>(PoolAllocator<Activity>(pool_));
+}
+
+void Engine::mark_core_dirty(std::int32_t core) {
+  const auto c = static_cast<std::size_t>(core);
+  if (core_dirty_[c] != 0) return;
+  core_dirty_[c] = 1;
+  dirty_cores_.push_back(core);
+}
+
+void Engine::enroll_exec(Activity* a) {
+  const auto c = static_cast<std::size_t>(a->core_index);
+  ++core_load_[c];
+  a->core_slot = static_cast<std::int32_t>(core_execs_[c].size());
+  core_execs_[c].push_back(a);
+  mark_core_dirty(a->core_index);
+  // No rate until the next refresh (the core's load may still change while
+  // actors drain); parked at infinity meanwhile.
+  a->rate = 0.0;
+  a->anchor = now_;
+  a->heap_key = kInf;
+  heap_.insert(a);
+}
+
 ActivityPtr Engine::start_exec(platform::HostId host, int core, double instructions,
                                double rate) {
   TIR_ASSERT(instructions >= 0.0);
   TIR_ASSERT(rate > 0.0);
-  auto act = std::make_shared<Activity>();
+  ActivityPtr act = make_activity();
   act->kind = Activity::Kind::Exec;
   act->seq = seq_++;
   act->core_index = host_core_offset_[static_cast<std::size_t>(host)] + core;
@@ -164,8 +192,8 @@ ActivityPtr Engine::start_exec(platform::HostId host, int core, double instructi
     return act;
   }
   act->state = Activity::State::Running;
-  ++core_load_[static_cast<std::size_t>(act->core_index)];
   add_running(act);
+  enroll_exec(act.get());
   return act;
 }
 
@@ -182,7 +210,7 @@ const platform::Route* Engine::cached_route(platform::HostId src, platform::Host
 ActivityPtr Engine::make_comm(platform::HostId src, platform::HostId dst, double bytes,
                               double lat_factor, double bw_factor, bool start_now) {
   TIR_ASSERT(bytes >= 0.0);
-  auto act = std::make_shared<Activity>();
+  ActivityPtr act = make_activity();
   act->kind = Activity::Kind::Comm;
   act->seq = seq_++;
   act->remaining = std::max(bytes, kWorkEps * 2);  // zero-byte comms still pay latency
@@ -206,34 +234,111 @@ ActivityPtr Engine::make_comm(platform::HostId src, platform::HostId dst, double
 
 ActivityPtr Engine::start_timer(double duration) {
   TIR_ASSERT(duration >= 0.0);
-  auto act = std::make_shared<Activity>();
+  ActivityPtr act = make_activity();
   act->kind = Activity::Kind::Timer;
   act->seq = seq_++;
   act->deadline = now_ + duration;
   act->state = Activity::State::Running;
   add_running(act);
+  act->heap_key = act->deadline;
+  heap_.insert(act.get());
   return act;
 }
 
 ActivityPtr Engine::make_gate() {
-  auto act = std::make_shared<Activity>();
+  ActivityPtr act = make_activity();
   act->kind = Activity::Kind::Gate;
   act->seq = seq_++;
   act->state = Activity::State::Pending;
   return act;
 }
 
+void Engine::start_comm(Activity* a) {
+  if (a->latency_left > 0.0) {
+    a->heap_key = now_ + a->latency_left;
+    heap_.insert(a);
+  } else {
+    begin_transfer(a);
+  }
+}
+
+void Engine::begin_transfer(Activity* a) {
+  a->xfer_slot = static_cast<std::int32_t>(transfers_.size());
+  transfers_.push_back(a);
+  if (config_.sharing == Sharing::Uncontended || a->route == nullptr) {
+    // No contention model applies: the flow runs at its own bound forever.
+    a->rate = a->bw_bound;
+    a->anchor = now_;
+    a->heap_key = now_ + a->remaining / a->rate;
+  } else {
+    const int id = solver_.add_flow(a->route->links, a->bw_bound);
+    a->flow_id = id;
+    if (static_cast<std::size_t>(id) >= flow_acts_.size()) {
+      flow_acts_.resize(static_cast<std::size_t>(id) + 1, nullptr);
+    }
+    flow_acts_[static_cast<std::size_t>(id)] = a;
+    // Rate arrives with the next refresh (the flow's component is dirty by
+    // construction); parked at infinity meanwhile.
+    a->rate = 0.0;
+    a->anchor = now_;
+    a->heap_key = kInf;
+  }
+  heap_.insert(a);
+}
+
 void Engine::start_activity(const ActivityPtr& act) {
   TIR_ASSERT(act->state == Activity::State::Pending);
   act->state = Activity::State::Running;
   add_running(act);
+  if (act->kind == Activity::Kind::Comm) start_comm(act.get());
+}
+
+void Engine::release_resources(Activity& act) {
+  if (act.heap_slot >= 0) heap_.remove(&act);
+  switch (act.kind) {
+    case Activity::Kind::Exec: {
+      const auto c = static_cast<std::size_t>(act.core_index);
+      --core_load_[c];
+      mark_core_dirty(act.core_index);
+      auto& list = core_execs_[c];
+      const auto slot = static_cast<std::size_t>(act.core_slot);
+      TIR_ASSERT(slot < list.size() && list[slot] == &act);
+      if (slot != list.size() - 1) {
+        list[slot] = list.back();
+        list[slot]->core_slot = static_cast<std::int32_t>(slot);
+      }
+      list.pop_back();
+      act.core_slot = -1;
+      break;
+    }
+    case Activity::Kind::Comm:
+      if (act.flow_id >= 0) {
+        solver_.remove_flow(act.flow_id);
+        flow_acts_[static_cast<std::size_t>(act.flow_id)] = nullptr;
+        act.flow_id = -1;
+      }
+      if (act.xfer_slot >= 0) {
+        const auto slot = static_cast<std::size_t>(act.xfer_slot);
+        TIR_ASSERT(slot < transfers_.size() && transfers_[slot] == &act);
+        if (slot != transfers_.size() - 1) {
+          transfers_[slot] = transfers_.back();
+          transfers_[slot]->xfer_slot = static_cast<std::int32_t>(slot);
+        }
+        transfers_.pop_back();
+        act.xfer_slot = -1;
+      }
+      break;
+    case Activity::Kind::Timer:
+    case Activity::Kind::Gate:
+      break;
+  }
 }
 
 void Engine::complete_now(const ActivityPtr& act) {
   TIR_ASSERT(!act->done());
-  if (act->run_slot >= 0) remove_running(*act);
-  if (act->kind == Activity::Kind::Exec) {
-    --core_load_[static_cast<std::size_t>(act->core_index)];
+  if (act->run_slot >= 0) {
+    remove_running(*act);
+    release_resources(*act);
   }
   act->state = Activity::State::Done;
   complete(*act);
@@ -290,108 +395,101 @@ void Engine::complete(Activity& act) {
   }
 }
 
-void Engine::assign_rates() {
-  flow_specs_.clear();
-  flow_acts_.clear();
-  for (const ActivityPtr& a : running_) {
-    switch (a->kind) {
-      case Activity::Kind::Exec: {
-        const int load = core_load_[static_cast<std::size_t>(a->core_index)];
-        TIR_ASSERT(load >= 1);
-        a->rate = a->nominal_rate / load;
-        break;
-      }
-      case Activity::Kind::Comm:
-        if (a->in_latency_phase()) {
-          a->rate = 0.0;
-        } else if (config_.sharing == Sharing::Uncontended || a->route == nullptr) {
-          a->rate = a->bw_bound;
-        } else {
-          flow_specs_.push_back(FlowSpec{a->route->links, a->bw_bound});
-          flow_acts_.push_back(a.get());
-        }
-        break;
-      case Activity::Kind::Timer:
-      case Activity::Kind::Gate:
-        break;
-    }
-  }
-  if (!flow_specs_.empty()) {
-    flow_rates_.resize(flow_specs_.size());
-    solver_.solve(flow_specs_, flow_rates_);
-    for (std::size_t i = 0; i < flow_acts_.size(); ++i) flow_acts_[i]->rate = flow_rates_[i];
-  }
+void Engine::retime(Activity* a, double new_rate) {
+  // Lazy materialization: progress under the outgoing rate is folded into
+  // `remaining` only here, at an actual rate change.  An activity whose rate
+  // never changes is never touched between its start and its completion.
+  a->remaining -= a->rate * (now_ - a->anchor);
+  a->anchor = now_;
+  a->rate = new_rate;
+  a->heap_key = now_ + a->remaining / new_rate;
+  heap_.update(a);
 }
 
-double Engine::next_step_duration() const {
-  double dt = kInf;
-  for (const ActivityPtr& a : running_) {
-    switch (a->kind) {
-      case Activity::Kind::Exec:
-        dt = std::min(dt, a->remaining / a->rate);
-        break;
-      case Activity::Kind::Comm:
-        if (a->in_latency_phase()) {
-          dt = std::min(dt, a->latency_left);
-        } else if (a->rate > 0.0) {
-          dt = std::min(dt, a->remaining / a->rate);
-        }
-        break;
-      case Activity::Kind::Timer:
-        dt = std::min(dt, a->deadline - now_);
-        break;
-      case Activity::Kind::Gate:
-        break;
+void Engine::refresh_rates() {
+  if (config_.sharing == Sharing::MaxMin) {
+    // Incremental: re-solve only components dirtied by flow add/remove since
+    // the last step (a no-op on steps that touched no contended comm).
+    // Full: reference path, every flow re-solved every step.  Both report
+    // the same changed set (bit-identical rates; see maxmin.hpp), so the
+    // retimes below — and hence the whole simulation — agree exactly.
+    const std::span<const int> changed = config_.resolve == Resolve::Incremental
+                                             ? solver_.solve_partial()
+                                             : solver_.solve_all();
+    for (const int id : changed) {
+      Activity* const a = flow_acts_[static_cast<std::size_t>(id)];
+      TIR_ASSERT(a != nullptr);
+      retime(a, solver_.rate(id));
     }
   }
-  return std::max(dt, 0.0);
+  // Execs: a core's sharing rate is a pure function of its load, so only
+  // cores whose load changed need a pass, and only numerically changed
+  // rates trigger a retime.
+  for (const std::int32_t core : dirty_cores_) {
+    const auto c = static_cast<std::size_t>(core);
+    core_dirty_[c] = 0;
+    const int load = core_load_[c];
+    for (Activity* const a : core_execs_[c]) {
+      const double rate = a->nominal_rate / load;
+      if (rate != a->rate) retime(a, rate);
+    }
+  }
+  dirty_cores_.clear();
 }
 
-void Engine::advance(double dt) {
-  now_ += dt;
+void Engine::advance_to(double t) {
+  const double dt = t - now_;
+  now_ = t;
   ++steps_;
   obs::Sink* const sink = config_.sink;
-  if (sink != nullptr) sink->on_time_advance(now_, dt);
-  const double time_slack = kTimeEps * std::max(1.0, now_);
-  // Collect completions first: completing mutates running_ (swap-erase).
-  static thread_local std::vector<ActivityPtr> finished;
-  finished.clear();
-  for (const ActivityPtr& a : running_) {
-    switch (a->kind) {
-      case Activity::Kind::Exec:
-        a->remaining -= a->rate * dt;
-        if (a->remaining <= kWorkEps) finished.push_back(a);
-        break;
-      case Activity::Kind::Comm:
-        if (a->in_latency_phase()) {
-          a->latency_left -= dt;
-          if (a->latency_left <= time_slack) a->latency_left = 0.0;
-        } else {
-          if (sink != nullptr && a->rate > 0.0) {
-            sink->on_comm_progress(
-                a->route != nullptr ? std::span<const platform::LinkId>(a->route->links)
-                                    : std::span<const platform::LinkId>(),
-                a->rate, dt);
-          }
-          a->remaining -= a->rate * dt;
-          if (a->remaining <= kWorkEps) finished.push_back(a);
-        }
-        break;
-      case Activity::Kind::Timer:
-        if (a->deadline <= now_ + time_slack) finished.push_back(a);
-        break;
-      case Activity::Kind::Gate:
-        break;
+  if (sink != nullptr) {
+    sink->on_time_advance(now_, dt);
+    // Per-link utilization accounting needs every transferring comm's
+    // (rate, dt) each step; this O(transfers) walk is the price of
+    // attaching a sink and is skipped entirely without one.  Emission order
+    // is the transfer-list slot order, a pure function of the activity
+    // add/remove sequence — identical in both Resolve modes.
+    for (Activity* const a : transfers_) {
+      if (a->rate > 0.0) {
+        sink->on_comm_progress(
+            a->route != nullptr ? std::span<const platform::LinkId>(a->route->links)
+                                : std::span<const platform::LinkId>(),
+            a->rate, dt);
+      }
     }
   }
-  for (const ActivityPtr& a : finished) {
-    remove_running(*a);
-    if (a->kind == Activity::Kind::Exec) {
-      --core_load_[static_cast<std::size_t>(a->core_index)];
+  const double time_slack = kTimeEps * std::max(1.0, now_);
+  // Pop everything due at t.  "Due" keeps the historical tolerance: work
+  // activities complete with up to kWorkEps residual (key within
+  // kWorkEps/rate of t), timers and latency phases within the relative
+  // time slack.  Completion mutates the heap and the running set, so due
+  // activities are collected first.
+  finished_.clear();
+  while (!heap_.empty()) {
+    Activity* const a = heap_.top();
+    if (a->heap_key == kInf) break;  // freshly added flows park at infinity
+    const double limit = (a->kind == Activity::Kind::Timer || a->in_latency_phase())
+                             ? now_ + time_slack
+                             : now_ + kWorkEps / a->rate;
+    if (a->heap_key > limit) break;
+    heap_.pop();
+    if (a->in_latency_phase()) {
+      // Latency fully paid: the byte transfer starts now.  Under max-min
+      // the new flow gets its rate at the next refresh.
+      a->latency_left = 0.0;
+      begin_transfer(a);
+      continue;
     }
+    a->remaining = 0.0;
+    finished_.push_back(running_[static_cast<std::size_t>(a->run_slot)]);
+  }
+  for (const ActivityPtr& a : finished_) {
+    remove_running(*a);
+    release_resources(*a);
     a->state = Activity::State::Done;
     complete(*a);
   }
+  finished_.clear();
 }
 
 void Engine::emit_diagnoses() const {

@@ -7,13 +7,20 @@
 //
 // The event loop alternates two phases until quiescence:
 //   1. resume every ready actor until all are blocked on activities;
-//   2. assign rates to running activities (core time-sharing for execs,
-//      uncontended-min or max-min fair sharing for communications), find the
-//      earliest completion, advance simulated time, and mark completions,
-//      which makes their waiters ready again.
+//   2. refresh the rates invalidated since the last step (core time-sharing
+//      for execs, uncontended-min or max-min fair sharing for comms), jump
+//      simulated time to the earliest projected completion in the time heap,
+//      and complete everything due, which makes waiters ready again.
+//
+// The kernel is incremental (see docs/simulation_kernel.md): activity
+// progress is projected lazily (Activity::anchor/heap_key), the next event
+// comes from an indexed min-heap instead of a linear scan, rate refreshes
+// touch only dirtied cores and — under Resolve::Incremental — only the
+// dirtied components of the max-min sharing graph, and activity allocations
+// are pooled.  Per-event cost is O(changed · log n), not O(running flows).
 //
 // The engine is single-threaded and deterministic: identical inputs produce
-// bit-identical simulated schedules.
+// bit-identical simulated schedules, in either Resolve mode.
 #pragma once
 
 #include <chrono>
@@ -29,6 +36,8 @@
 #include "sim/activity.hpp"
 #include "sim/coro.hpp"
 #include "sim/maxmin.hpp"
+#include "sim/pool.hpp"
+#include "sim/timeheap.hpp"
 
 namespace tir::sim {
 
@@ -39,6 +48,13 @@ using ActorFn = std::function<Coro(Ctx&)>;
 enum class Sharing {
   Uncontended,  ///< each flow gets min link capacity along its route (fast)
   MaxMin,       ///< max-min fair sharing across links (SimGrid-style fluid)
+};
+
+/// How the engine keeps max-min rates fresh between events.
+enum class Resolve {
+  Full,         ///< reference path: re-solve every flow at every step
+  Incremental,  ///< re-solve only sharing-graph components dirtied since the
+                ///< last step (bit-identical to Full; differential-tested)
 };
 
 struct EngineConfig {
@@ -52,6 +68,9 @@ struct EngineConfig {
   /// (the default) disables every hook at the cost of one predictable
   /// branch per hook point — no virtual dispatch on the hot path.
   obs::Sink* sink = nullptr;
+  /// Solver strategy; Full exists as the reference for differential tests
+  /// and for measuring the incremental path's speedup.
+  Resolve resolve = Resolve::Incremental;
 };
 
 /// Awaitable for a single activity.
@@ -111,6 +130,11 @@ class Engine {
   SimTime now() const { return now_; }
   std::uint64_t steps() const { return steps_; }            ///< time advances
   std::uint64_t activities_created() const { return seq_; } ///< total activities
+  /// Solver instrumentation (partial/full solve counts, flows visited).
+  const MaxMinSolver::Counters& solver_counters() const { return solver_.counters(); }
+  /// Activity blocks obtained from the system allocator; plateaus once the
+  /// pool's working set is warm (see sim/pool.hpp).
+  std::uint64_t fresh_activity_allocations() const { return pool_->fresh_allocations(); }
 
   /// Create an actor pinned to (host, core). Returns its index.
   int spawn(std::string name, platform::HostId host, int core, ActorFn fn);
@@ -158,9 +182,21 @@ class Engine {
 
   void drain_ready();
   void check_watchdog(const std::chrono::steady_clock::time_point& start) const;
-  void assign_rates();
-  double next_step_duration() const;
-  void advance(double dt);
+  ActivityPtr make_activity();
+  void enroll_exec(Activity* a);
+  void start_comm(Activity* a);
+  void begin_transfer(Activity* a);
+  void mark_core_dirty(std::int32_t core);
+  /// Re-solve whatever was invalidated since the last step and re-key the
+  /// affected activities in the time heap.
+  void refresh_rates();
+  /// Materialize progress under the old rate, switch to `new_rate`, re-key.
+  void retime(Activity* a, double new_rate);
+  /// Jump simulated time to `t` (the heap minimum) and complete/transition
+  /// everything due at it.
+  void advance_to(double t);
+  /// Drop an activity's hold on cores / flows / the heap.
+  void release_resources(Activity& act);
   void complete(Activity& act);
   void add_running(const ActivityPtr& act);
   void remove_running(Activity& act);
@@ -180,16 +216,25 @@ class Engine {
 
   std::deque<std::coroutine_handle<>> ready_;
   std::vector<ActivityPtr> running_;
+  TimeHeap heap_;
 
   std::vector<int> core_load_;         // active execs per flattened core
   std::vector<int> host_core_offset_;  // host id -> first core slot
+  std::vector<std::vector<Activity*>> core_execs_;  // active execs by core
+  std::vector<char> core_dirty_;       // load changed since last refresh
+  std::vector<std::int32_t> dirty_cores_;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<platform::Route>> route_cache_;
   MaxMinSolver solver_;
-  // scratch for max-min mode
-  std::vector<FlowSpec> flow_specs_;
-  std::vector<double> flow_rates_;
-  std::vector<Activity*> flow_acts_;
+  std::vector<Activity*> flow_acts_;   // solver flow id -> activity
+  std::vector<Activity*> transfers_;   // comms past their latency phase; the
+                                       // sink's comm-progress walk (slot order
+                                       // is a pure function of the event
+                                       // sequence, identical across Resolve
+                                       // modes)
+  std::vector<ActivityPtr> finished_;  // scratch: completions of one step
+
+  std::shared_ptr<PoolResource> pool_;
 
   bool running_loop_ = false;
 };

@@ -7,11 +7,31 @@
 
 namespace tir::sim {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+template <class V>
+std::size_t capacity_bytes(const V& v) {
+  return v.capacity() * sizeof(typename V::value_type);
+}
+}  // namespace
+
 void MaxMinSolver::reset_links(std::span<const platform::Link> links) {
   link_capacity_.resize(links.size());
   for (std::size_t i = 0; i < links.size(); ++i) link_capacity_[i] = links[i].bandwidth;
   link_remaining_.resize(links.size());
-  link_nflows_.resize(links.size());
+  link_nflows_.assign(links.size(), 0);
+  // A new platform invalidates the persistent flow set.
+  flows_.clear();
+  free_ids_.clear();
+  link_flows_.assign(links.size(), {});
+  active_count_ = 0;
+  link_dirty_.assign(links.size(), 0);
+  dirty_links_.clear();
+  link_mark_.assign(links.size(), 0);
+  flow_mark_.clear();
+  epoch_ = 0;
+  changed_.clear();
 }
 
 void MaxMinSolver::solve(std::span<const FlowSpec> flows, std::span<double> rates_out) {
@@ -34,7 +54,7 @@ void MaxMinSolver::solve(std::span<const FlowSpec> flows, std::span<double> rate
   while (unfrozen > 0) {
     // The binding constraint this round: the smallest of (a) any link's fair
     // share among its unfrozen flows, (b) any unfrozen flow's own cap.
-    double level = std::numeric_limits<double>::infinity();
+    double level = kInf;
     for (std::size_t l = 0; l < link_remaining_.size(); ++l) {
       if (link_nflows_[l] > 0) {
         level = std::min(level, link_remaining_[l] / link_nflows_[l]);
@@ -47,7 +67,7 @@ void MaxMinSolver::solve(std::span<const FlowSpec> flows, std::span<double> rate
         cap_binds = true;
       }
     }
-    TIR_ASSERT(level < std::numeric_limits<double>::infinity());
+    TIR_ASSERT(level < kInf);
 
     // Freeze every flow bound at this level: flows whose cap equals the
     // level, and flows crossing a link saturated at this level.
@@ -78,6 +98,265 @@ void MaxMinSolver::solve(std::span<const FlowSpec> flows, std::span<double> rate
     }
     TIR_ASSERT(froze_someone);  // progress guarantee
   }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent incremental flow set.
+// ---------------------------------------------------------------------------
+
+void MaxMinSolver::next_epoch() {
+  // Wrap-safe: after 2^32 solves the stale marks could alias a reused epoch
+  // value, so clear them and restart rather than trust the collision odds.
+  if (++epoch_ == 0) {
+    std::fill(link_mark_.begin(), link_mark_.end(), 0);
+    std::fill(flow_mark_.begin(), flow_mark_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+void MaxMinSolver::mark_dirty(platform::LinkId l) {
+  const auto li = static_cast<std::size_t>(l);
+  if (link_dirty_[li] != 0) return;
+  link_dirty_[li] = 1;
+  dirty_links_.push_back(l);
+}
+
+int MaxMinSolver::add_flow(std::span<const platform::LinkId> route, double cap) {
+  TIR_ASSERT(cap > 0.0 && cap < kInf);
+  int id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<int>(flows_.size());
+    flows_.emplace_back();
+    flow_mark_.push_back(0);
+  }
+  FlowRec& f = flows_[static_cast<std::size_t>(id)];
+  f.route.assign(route.begin(), route.end());
+  f.slots.resize(route.size());
+  f.cap = cap;
+  f.rate = 0.0;
+  f.active = true;
+  for (std::size_t p = 0; p < f.route.size(); ++p) {
+    const auto li = static_cast<std::size_t>(f.route[p]);
+    TIR_ASSERT(li < link_flows_.size());
+    f.slots[p] = static_cast<std::int32_t>(link_flows_[li].size());
+    link_flows_[li].push_back(LinkEntry{id, static_cast<std::int32_t>(p)});
+    mark_dirty(f.route[p]);
+  }
+  ++active_count_;
+  return id;
+}
+
+void MaxMinSolver::remove_flow(int id) {
+  TIR_ASSERT(id >= 0 && static_cast<std::size_t>(id) < flows_.size());
+  FlowRec& f = flows_[static_cast<std::size_t>(id)];
+  TIR_ASSERT(f.active);
+  for (std::size_t p = 0; p < f.route.size(); ++p) {
+    const auto li = static_cast<std::size_t>(f.route[p]);
+    auto& list = link_flows_[li];
+    const auto slot = static_cast<std::size_t>(f.slots[p]);
+    TIR_ASSERT(slot < list.size() && list[slot].flow == id);
+    if (slot != list.size() - 1) {
+      list[slot] = list.back();
+      flows_[static_cast<std::size_t>(list[slot].flow)]
+          .slots[static_cast<std::size_t>(list[slot].pos)] = static_cast<std::int32_t>(slot);
+    }
+    list.pop_back();
+    mark_dirty(f.route[p]);
+  }
+  f.active = false;
+  f.rate = 0.0;
+  --active_count_;
+  free_ids_.push_back(id);
+}
+
+void MaxMinSolver::collect_affected() {
+  affected_.clear();
+  // Epoch-stamped BFS over the bipartite sharing graph: a dirty link pulls
+  // in every flow crossing it; each such flow pulls in the rest of its
+  // route; repeat.  The fixpoint is exactly the union of the connected
+  // components touched by the mutations since the last solve.
+  next_epoch();
+  std::size_t head = 0;
+  // dirty_links_ doubles as the BFS queue of links to expand.
+  for (const platform::LinkId l : dirty_links_) link_mark_[static_cast<std::size_t>(l)] = epoch_;
+  while (head < dirty_links_.size()) {
+    const auto li = static_cast<std::size_t>(dirty_links_[head++]);
+    for (const LinkEntry& e : link_flows_[li]) {
+      const auto fi = static_cast<std::size_t>(e.flow);
+      if (flow_mark_[fi] == epoch_) continue;
+      flow_mark_[fi] = epoch_;
+      affected_.push_back(e.flow);
+      for (const platform::LinkId l2 : flows_[fi].route) {
+        const auto l2i = static_cast<std::size_t>(l2);
+        if (link_mark_[l2i] != epoch_) {
+          link_mark_[l2i] = epoch_;
+          dirty_links_.push_back(l2);
+        }
+      }
+    }
+  }
+  // A deterministic flow order makes the partial path reproduce the full
+  // path's arithmetic freeze-for-freeze (see solve_subset).
+  std::sort(affected_.begin(), affected_.end());
+  for (const platform::LinkId l : dirty_links_) link_dirty_[static_cast<std::size_t>(l)] = 0;
+  dirty_links_.clear();
+}
+
+std::span<const int> MaxMinSolver::solve_partial() {
+  ++counters_.partial_solves;
+  changed_.clear();
+  if (dirty_links_.empty()) return changed_;
+  collect_affected();
+  solve_subset(affected_);
+  return changed_;
+}
+
+std::span<const int> MaxMinSolver::solve_all() {
+  ++counters_.full_solves;
+  changed_.clear();
+  // Reference path: every active flow, ascending id, through the same
+  // component-solve core the partial path uses.
+  affected_.clear();
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].active) affected_.push_back(static_cast<int>(i));
+  }
+  for (const platform::LinkId l : dirty_links_) link_dirty_[static_cast<std::size_t>(l)] = 0;
+  dirty_links_.clear();
+  solve_subset(affected_);
+  return changed_;
+}
+
+void MaxMinSolver::solve_subset(std::span<const int> ids) {
+  const std::size_t nf = ids.size();
+  if (nf == 0) return;
+  counters_.flows_visited += nf;
+
+  // Reset the per-link scratch for exactly the links the subset crosses.
+  // Progressive filling never moves bandwidth between disconnected
+  // components, so links outside the subset are irrelevant — this is what
+  // makes the partial solve exact and O(component), not O(platform).
+  next_epoch();
+  touched_links_.clear();
+  for (const int id : ids) {
+    for (const platform::LinkId l : flows_[static_cast<std::size_t>(id)].route) {
+      const auto li = static_cast<std::size_t>(l);
+      if (link_mark_[li] != epoch_) {
+        link_mark_[li] = epoch_;
+        touched_links_.push_back(l);
+        link_remaining_[li] = link_capacity_[li];
+        link_nflows_[li] = 0;
+      }
+      ++link_nflows_[li];
+    }
+  }
+
+  flow_frozen_.assign(nf, 0);
+  std::size_t unfrozen = nf;
+  while (unfrozen > 0) {
+    // Same round structure as the batch solve(); see above.  Levels are
+    // scanned over the touched links and the subset's caps only.
+    double level = kInf;
+    for (const platform::LinkId l : touched_links_) {
+      const auto li = static_cast<std::size_t>(l);
+      if (link_nflows_[li] > 0) level = std::min(level, link_remaining_[li] / link_nflows_[li]);
+    }
+    bool cap_binds = false;
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (flow_frozen_[i] == 0 && flows_[static_cast<std::size_t>(ids[i])].cap <= level) {
+        level = flows_[static_cast<std::size_t>(ids[i])].cap;
+        cap_binds = true;
+      }
+    }
+    TIR_ASSERT(level < kInf);
+
+    bool froze_someone = false;
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (flow_frozen_[i] != 0) continue;
+      FlowRec& f = flows_[static_cast<std::size_t>(ids[i])];
+      bool bound = cap_binds && f.cap <= level * (1.0 + 1e-12);
+      if (!bound) {
+        for (const platform::LinkId l : f.route) {
+          const auto li = static_cast<std::size_t>(l);
+          if (link_remaining_[li] / link_nflows_[li] <= level * (1.0 + 1e-12)) {
+            bound = true;
+            break;
+          }
+        }
+      }
+      if (bound) {
+        if (f.rate != level) {
+          f.rate = level;
+          changed_.push_back(ids[i]);
+          ++counters_.rate_changes;
+        }
+        flow_frozen_[i] = 1;
+        froze_someone = true;
+        --unfrozen;
+        for (const platform::LinkId l : f.route) {
+          const auto li = static_cast<std::size_t>(l);
+          link_remaining_[li] = std::max(0.0, link_remaining_[li] - level);
+          --link_nflows_[li];
+        }
+      }
+    }
+    TIR_ASSERT(froze_someone);  // progress guarantee
+  }
+  // changed_ accumulates in freeze order; hand it back sorted by id so the
+  // engine's key updates are ordered identically on both solve paths.
+  std::sort(changed_.begin(), changed_.end());
+}
+
+void MaxMinSolver::shrink_to_fit() {
+  link_capacity_.shrink_to_fit();
+  link_remaining_.shrink_to_fit();
+  link_nflows_.shrink_to_fit();
+  flow_frozen_.clear();
+  flow_frozen_.shrink_to_fit();
+  // Registry: drop free slots entirely when no flow is active (the common
+  // between-traces case); otherwise just release their route capacity.
+  if (active_count_ == 0) {
+    flows_.clear();
+    free_ids_.clear();
+    flow_mark_.clear();
+  } else {
+    for (const int id : free_ids_) {
+      FlowRec& f = flows_[static_cast<std::size_t>(id)];
+      f.route.clear();
+      f.route.shrink_to_fit();
+      f.slots.clear();
+      f.slots.shrink_to_fit();
+    }
+  }
+  flows_.shrink_to_fit();
+  free_ids_.shrink_to_fit();
+  flow_mark_.shrink_to_fit();
+  for (auto& list : link_flows_) list.shrink_to_fit();
+  link_flows_.shrink_to_fit();
+  link_dirty_.shrink_to_fit();
+  dirty_links_.shrink_to_fit();
+  link_mark_.shrink_to_fit();
+  affected_.clear();
+  affected_.shrink_to_fit();
+  touched_links_.clear();
+  touched_links_.shrink_to_fit();
+  changed_.clear();
+  changed_.shrink_to_fit();
+}
+
+std::size_t MaxMinSolver::scratch_bytes() const {
+  std::size_t total = capacity_bytes(link_capacity_) + capacity_bytes(link_remaining_) +
+                      capacity_bytes(link_nflows_) + capacity_bytes(flow_frozen_) +
+                      capacity_bytes(flows_) + capacity_bytes(free_ids_) +
+                      capacity_bytes(link_flows_) + capacity_bytes(link_dirty_) +
+                      capacity_bytes(dirty_links_) + capacity_bytes(link_mark_) +
+                      capacity_bytes(flow_mark_) + capacity_bytes(affected_) +
+                      capacity_bytes(touched_links_) + capacity_bytes(changed_);
+  for (const FlowRec& f : flows_) total += capacity_bytes(f.route) + capacity_bytes(f.slots);
+  for (const auto& list : link_flows_) total += capacity_bytes(list);
+  return total;
 }
 
 }  // namespace tir::sim

@@ -7,11 +7,29 @@
 // what makes contention simulation tractable compared to packet-level
 // simulation (cf. the paper's related-work discussion).
 //
-// Complexity: O(rounds * sum(route lengths)); rounds <= number of distinct
-// bottlenecks.  The Solver owns scratch buffers so steady-state solving does
-// not allocate.
+// Two entry points:
+//
+//   * solve() — the stateless batch reference: hand it every flow, get every
+//     rate.  O(rounds * sum(route lengths)) per call.
+//
+//   * the persistent flow set (add_flow / remove_flow / solve_partial) — the
+//     incremental kernel.  The solver keeps the flow/link sharing graph
+//     between calls; a mutation dirties only the links it touches, and
+//     solve_partial() re-solves just the connected component(s) reachable
+//     from dirty links, leaving every other flow's rate untouched.  Because
+//     progressive filling never moves bandwidth between disconnected
+//     components, a component-local solve is *exact*, not an approximation:
+//     solve_partial() after any mutation sequence yields bit-identical rates
+//     to a from-scratch solve() over the same flows (tested in
+//     tests/property).  solve_all() re-solves every component through the
+//     same code path and is the reference the differential engine test
+//     pins the incremental path against.
+//
+// The Solver owns scratch buffers so steady-state solving does not allocate;
+// shrink_to_fit() releases their high-water-mark capacity between traces.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -27,17 +45,110 @@ struct FlowSpec {
 class MaxMinSolver {
  public:
   /// Prepare for a platform with `link_count` links of the given capacities.
+  /// Drops any persistent flows from a previous platform.
   void reset_links(std::span<const platform::Link> links);
 
   /// Compute max-min fair rates. `rates_out` must have flows.size() entries.
-  /// Link capacities are taken from the last reset_links() call.
+  /// Link capacities are taken from the last reset_links() call.  Stateless:
+  /// ignores (and does not disturb) the persistent flow set.
   void solve(std::span<const FlowSpec> flows, std::span<double> rates_out);
 
+  // --- persistent incremental flow set ------------------------------------
+
+  /// Register a flow crossing `route` with per-flow cap `cap` (> 0, finite).
+  /// The route is copied.  Returns a dense id, reused after remove_flow().
+  /// The flow has no rate until the next solve_partial()/solve_all() call
+  /// (it is part of the dirty component by construction).
+  int add_flow(std::span<const platform::LinkId> route, double cap);
+
+  /// Unregister a flow; its links' component is dirtied.
+  void remove_flow(int id);
+
+  /// Rate assigned by the last solve that visited this flow.
+  double rate(int id) const { return flows_[static_cast<std::size_t>(id)].rate; }
+
+  /// Number of currently registered flows.
+  std::size_t active_flows() const { return active_count_; }
+
+  /// Re-solve only the connected component(s) of the sharing graph touched
+  /// by add_flow/remove_flow since the last solve.  Returns the ids of flows
+  /// whose rate changed, in ascending id order; the span is valid until the
+  /// next mutation or solve.  Flows outside dirty components are not even
+  /// visited.
+  std::span<const int> solve_partial();
+
+  /// Reference path: re-solve every registered flow through the same
+  /// component-solve core.  Same return contract as solve_partial().
+  std::span<const int> solve_all();
+
+  /// Release the high-water-mark capacity of every scratch buffer and of the
+  /// flow registry's free slots.  Long multi-trace sessions call this
+  /// between traces so one huge solve does not pin peak memory forever.
+  /// Registered flows and their rates are preserved.
+  void shrink_to_fit();
+
+  /// Capacity footprint (bytes) of the solver-owned buffers; lets tests and
+  /// memory dashboards observe the effect of shrink_to_fit().
+  std::size_t scratch_bytes() const;
+
+  /// Instrumentation for benches and the docs' invariant checks.
+  struct Counters {
+    std::uint64_t partial_solves = 0;   ///< solve_partial() calls
+    std::uint64_t full_solves = 0;      ///< solve_all() calls
+    std::uint64_t flows_visited = 0;    ///< flows re-solved across all calls
+    std::uint64_t rate_changes = 0;     ///< rates that actually changed
+  };
+  const Counters& counters() const { return counters_; }
+
  private:
+  struct FlowRec {
+    std::vector<platform::LinkId> route;  // copy: spans from callers may die
+    std::vector<std::int32_t> slots;      // per route link: index in link_flows_
+    double cap = 0.0;
+    double rate = 0.0;
+    bool active = false;
+  };
+  /// One entry of a link's membership list: the flow and which position of
+  /// the flow's route this link is (so swap-erase can fix the moved entry's
+  /// back-pointer in O(1)).
+  struct LinkEntry {
+    std::int32_t flow = -1;
+    std::int32_t pos = -1;
+  };
+
+  void next_epoch();
+  void mark_dirty(platform::LinkId l);
+  /// BFS over the bipartite flow/link graph from the dirty links; fills
+  /// affected_ with the reachable flow ids, sorted ascending.
+  void collect_affected();
+  /// Progressive filling over `ids` (sorted ascending), assumed to be a
+  /// union of whole components.  Updates FlowRec::rate and appends the ids
+  /// whose rate changed to changed_.
+  void solve_subset(std::span<const int> ids);
+
   std::vector<double> link_capacity_;   // static capacities
   std::vector<double> link_remaining_;  // scratch: capacity left this solve
   std::vector<int> link_nflows_;        // scratch: unfrozen flows per link
-  std::vector<char> flow_frozen_;       // scratch
+  std::vector<char> flow_frozen_;       // scratch (batch solve: per flow;
+                                        // subset solve: per subset position)
+
+  // Persistent sharing graph.
+  std::vector<FlowRec> flows_;
+  std::vector<int> free_ids_;
+  std::vector<std::vector<LinkEntry>> link_flows_;  // active flows per link
+  std::size_t active_count_ = 0;
+
+  // Dirty tracking and solve scratch.
+  std::vector<char> link_dirty_;
+  std::vector<platform::LinkId> dirty_links_;
+  std::vector<std::uint32_t> link_mark_;  // epoch stamps (BFS + reset)
+  std::vector<std::uint32_t> flow_mark_;
+  std::uint32_t epoch_ = 0;
+  std::vector<int> affected_;                    // flow ids to re-solve
+  std::vector<platform::LinkId> touched_links_;  // links of the subset
+  std::vector<int> changed_;                     // result of the last solve
+
+  Counters counters_;
 };
 
 }  // namespace tir::sim

@@ -1,0 +1,125 @@
+// Indexed binary min-heap over running activities, ordered by projected
+// completion time.
+//
+// This replaces the engine's former linear next-completion scan: finding the
+// next event is O(1), and — the part a plain priority queue cannot do — a
+// rate change re-keys just the affected activity in O(log n), because every
+// activity stores its own heap position (Activity::heap_slot).
+//
+// Ordering is (heap_key, seq): the seq tiebreak makes the pop order a total
+// order, so identical simulations pop identically regardless of the
+// insertion/update sequence that built the heap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/error.hpp"
+#include "sim/activity.hpp"
+
+namespace tir::sim {
+
+class TimeHeap {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  Activity* top() const { return heap_.front(); }
+  double top_key() const { return heap_.front()->heap_key; }
+
+  /// Insert an activity not currently in the heap (heap_slot must be -1).
+  void insert(Activity* a) {
+    TIR_ASSERT(a->heap_slot < 0);
+    a->heap_slot = static_cast<std::int32_t>(heap_.size());
+    heap_.push_back(a);
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Restore the heap property after `a`'s heap_key changed.
+  void update(Activity* a) {
+    TIR_ASSERT(a->heap_slot >= 0);
+    const auto i = static_cast<std::size_t>(a->heap_slot);
+    TIR_ASSERT(i < heap_.size() && heap_[i] == a);
+    if (!sift_up(i)) sift_down(i);
+  }
+
+  void insert_or_update(Activity* a) {
+    if (a->heap_slot < 0) {
+      insert(a);
+    } else {
+      update(a);
+    }
+  }
+
+  /// Remove an arbitrary activity (e.g. completed externally).
+  void remove(Activity* a) {
+    TIR_ASSERT(a->heap_slot >= 0);
+    const auto i = static_cast<std::size_t>(a->heap_slot);
+    TIR_ASSERT(i < heap_.size() && heap_[i] == a);
+    a->heap_slot = -1;
+    if (i == heap_.size() - 1) {
+      heap_.pop_back();
+      return;
+    }
+    heap_[i] = heap_.back();
+    heap_[i]->heap_slot = static_cast<std::int32_t>(i);
+    heap_.pop_back();
+    if (!sift_up(i)) sift_down(i);
+  }
+
+  /// Remove the minimum-key activity.
+  void pop() { remove(heap_.front()); }
+
+  void clear() {
+    for (Activity* a : heap_) a->heap_slot = -1;
+    heap_.clear();
+  }
+
+ private:
+  static bool less(const Activity* x, const Activity* y) {
+    if (x->heap_key != y->heap_key) return x->heap_key < y->heap_key;
+    return x->seq < y->seq;
+  }
+
+  /// Returns true if the element moved.
+  bool sift_up(std::size_t i) {
+    Activity* const a = heap_[i];
+    bool moved = false;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(a, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      heap_[i]->heap_slot = static_cast<std::int32_t>(i);
+      i = parent;
+      moved = true;
+    }
+    if (moved) {
+      heap_[i] = a;
+      a->heap_slot = static_cast<std::int32_t>(i);
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t i) {
+    Activity* const a = heap_[i];
+    const std::size_t n = heap_.size();
+    bool moved = false;
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && less(heap_[child + 1], heap_[child])) ++child;
+      if (!less(heap_[child], a)) break;
+      heap_[i] = heap_[child];
+      heap_[i]->heap_slot = static_cast<std::int32_t>(i);
+      i = child;
+      moved = true;
+    }
+    if (moved) {
+      heap_[i] = a;
+      a->heap_slot = static_cast<std::int32_t>(i);
+    }
+  }
+
+  std::vector<Activity*> heap_;
+};
+
+}  // namespace tir::sim

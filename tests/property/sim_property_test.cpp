@@ -90,6 +90,82 @@ TEST_P(MaxMinProperty, RandomProblemSatisfiesFairnessInvariants) {
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, MaxMinProperty,
                          ::testing::Range<std::uint64_t>(1, 33));
 
+// ---------- incremental re-solve vs. from-scratch batch solve ------------
+
+class IncrementalSolveProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalSolveProperty, PartialResolveMatchesBatchSolveRateForRate) {
+  rng::Sequence rand(GetParam());
+  const int n_links = 2 + static_cast<int>(rand.next_u64() % 8);
+
+  std::vector<platform::Link> links(static_cast<std::size_t>(n_links));
+  for (int l = 0; l < n_links; ++l) {
+    links[static_cast<std::size_t>(l)].id = l;
+    links[static_cast<std::size_t>(l)].bandwidth = rand.next_uniform(10.0, 1000.0);
+  }
+
+  MaxMinSolver incremental;
+  incremental.reset_links(links);
+  MaxMinSolver reference;  // only ever used through the stateless batch path
+  reference.reset_links(links);
+
+  struct Live {
+    int id;
+    std::vector<platform::LinkId> route;
+    double cap;
+  };
+  std::vector<Live> live;
+
+  const auto check_against_batch = [&] {
+    std::vector<FlowSpec> specs;
+    specs.reserve(live.size());
+    for (const Live& f : live) specs.push_back(FlowSpec{f.route, f.cap});
+    std::vector<double> rates(specs.size());
+    reference.solve(specs, rates);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      EXPECT_DOUBLE_EQ(incremental.rate(live[i].id), rates[i]) << "flow id " << live[i].id;
+    }
+  };
+
+  const int n_ops = 40;
+  for (int op = 0; op < n_ops; ++op) {
+    const bool add = live.empty() || rand.next_u64() % 3 != 0;
+    if (add) {
+      const int route_len = 1 + static_cast<int>(rand.next_u64() % std::min(n_links, 4));
+      std::vector<platform::LinkId> all(static_cast<std::size_t>(n_links));
+      std::iota(all.begin(), all.end(), 0);
+      for (int i = 0; i < route_len; ++i) {
+        const auto pick = i + static_cast<int>(rand.next_u64() % (all.size() - i));
+        std::swap(all[static_cast<std::size_t>(i)], all[static_cast<std::size_t>(pick)]);
+      }
+      Live f;
+      f.route.assign(all.begin(), all.begin() + route_len);
+      f.cap = rand.next_u64() % 4 == 0 ? rand.next_uniform(1.0, 100.0) : 1e18;
+      f.id = incremental.add_flow(f.route, f.cap);
+      live.push_back(std::move(f));
+    } else {
+      const auto victim = static_cast<std::size_t>(rand.next_u64() % live.size());
+      incremental.remove_flow(live[victim].id);
+      live[victim] = std::move(live.back());
+      live.pop_back();
+    }
+    // Sometimes let several mutations accumulate before solving, so the
+    // dirty set spans multiple components.
+    if (rand.next_u64() % 3 == 0) continue;
+    incremental.solve_partial();
+    check_against_batch();
+  }
+  incremental.solve_partial();  // flush any still-dirty mutations
+  check_against_batch();
+
+  // The incremental path must actually have been cheaper than re-solving
+  // everything: flows_visited counts only dirty components.
+  EXPECT_GT(incremental.counters().partial_solves, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMutationSeeds, IncrementalSolveProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
 // ---------- core time-sharing across widths ------------------------------
 
 class TimeShareProperty : public ::testing::TestWithParam<int> {};

@@ -129,5 +129,142 @@ TEST(MaxMin, ManyFlowsStillFair) {
   for (const double r : rates) EXPECT_NEAR(r, 10.0, 1e-9);
 }
 
+// ---------- persistent incremental flow set ------------------------------
+
+TEST(MaxMinIncremental, PartialSolveMatchesBatchOnTandemNetwork) {
+  const auto links = make_links({100.0, 60.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId ra[] = {0, 1};
+  const platform::LinkId rb[] = {0};
+  const platform::LinkId rc[] = {1};
+  const int a = s.add_flow(ra, kNoCap);
+  const int b = s.add_flow(rb, kNoCap);
+  const int c = s.add_flow(rc, kNoCap);
+  s.solve_partial();
+  EXPECT_DOUBLE_EQ(s.rate(a), 30.0);
+  EXPECT_DOUBLE_EQ(s.rate(b), 70.0);
+  EXPECT_DOUBLE_EQ(s.rate(c), 30.0);
+}
+
+TEST(MaxMinIncremental, UntouchedComponentIsNotEvenVisited) {
+  // Links 0 and 1 are disjoint components; churn on link 1 must never visit
+  // the flow pinned to link 0.
+  const auto links = make_links({100.0, 80.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId r0[] = {0};
+  const platform::LinkId r1[] = {1};
+  const int pinned = s.add_flow(r0, kNoCap);
+  s.solve_partial();
+  EXPECT_DOUBLE_EQ(s.rate(pinned), 100.0);
+  const std::uint64_t visited_before = s.counters().flows_visited;
+
+  const int f1 = s.add_flow(r1, kNoCap);
+  auto changed = s.solve_partial();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], f1);
+  EXPECT_DOUBLE_EQ(s.rate(f1), 80.0);
+
+  const int f2 = s.add_flow(r1, kNoCap);
+  changed = s.solve_partial();
+  ASSERT_EQ(changed.size(), 2u);  // f1 and f2 now share link 1
+  EXPECT_DOUBLE_EQ(s.rate(f1), 40.0);
+  EXPECT_DOUBLE_EQ(s.rate(f2), 40.0);
+
+  s.remove_flow(f1);
+  changed = s.solve_partial();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], f2);
+  EXPECT_DOUBLE_EQ(s.rate(f2), 80.0);
+
+  // Three partial solves later (1 + 2 + 1 flows), the link-0 component was
+  // visited zero times.
+  EXPECT_EQ(s.counters().flows_visited - visited_before, 4u);
+  EXPECT_DOUBLE_EQ(s.rate(pinned), 100.0);
+}
+
+TEST(MaxMinIncremental, CleanSolveIsANoop) {
+  const auto links = make_links({100.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId r[] = {0};
+  s.add_flow(r, kNoCap);
+  s.solve_partial();
+  const std::uint64_t visited = s.counters().flows_visited;
+  EXPECT_TRUE(s.solve_partial().empty());  // nothing dirty
+  EXPECT_EQ(s.counters().flows_visited, visited);
+}
+
+TEST(MaxMinIncremental, SolveAllRevisitsEverythingButChangesNothing) {
+  const auto links = make_links({100.0, 60.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId r0[] = {0};
+  const platform::LinkId r1[] = {1};
+  s.add_flow(r0, kNoCap);
+  s.add_flow(r1, kNoCap);
+  s.solve_partial();
+  EXPECT_TRUE(s.solve_all().empty());  // reference path recomputes same rates
+  EXPECT_EQ(s.counters().flows_visited, 4u);  // 2 (partial) + 2 (full)
+}
+
+TEST(MaxMinIncremental, FlowIdsAreRecycled) {
+  const auto links = make_links({100.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId r[] = {0};
+  const int a = s.add_flow(r, kNoCap);
+  s.remove_flow(a);
+  const int b = s.add_flow(r, kNoCap);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s.active_flows(), 1u);
+}
+
+// The scratch-shrink escape hatch: a high-water-mark solve must not pin its
+// peak capacity forever once the load is gone.
+TEST(MaxMinIncremental, ShrinkToFitReleasesHighWaterMarkScratch) {
+  const auto links = make_links({1000.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId r[] = {0};
+  std::vector<int> ids;
+  for (int i = 0; i < 5000; ++i) ids.push_back(s.add_flow(r, kNoCap));
+  s.solve_partial();
+  for (const int id : ids) s.remove_flow(id);
+  s.solve_partial();
+
+  const std::size_t peak = s.scratch_bytes();
+  s.shrink_to_fit();
+  EXPECT_LT(s.scratch_bytes(), peak / 10) << "peak=" << peak;
+
+  // Still fully functional after shrinking.
+  const int a = s.add_flow(r, kNoCap);
+  const int b = s.add_flow(r, kNoCap);
+  s.solve_partial();
+  EXPECT_DOUBLE_EQ(s.rate(a), 500.0);
+  EXPECT_DOUBLE_EQ(s.rate(b), 500.0);
+}
+
+TEST(MaxMinIncremental, ShrinkToFitPreservesActiveFlows) {
+  const auto links = make_links({100.0, 60.0});
+  MaxMinSolver s;
+  s.reset_links(links);
+  const platform::LinkId ra[] = {0, 1};
+  const platform::LinkId rb[] = {0};
+  const int a = s.add_flow(ra, kNoCap);
+  const int b = s.add_flow(rb, kNoCap);
+  s.solve_partial();
+  s.shrink_to_fit();
+  EXPECT_EQ(s.active_flows(), 2u);
+  // Both bound by link 0's fair share (100/2); rates survive the shrink.
+  EXPECT_DOUBLE_EQ(s.rate(a), 50.0);
+  EXPECT_DOUBLE_EQ(s.rate(b), 50.0);
+  s.remove_flow(a);
+  const auto changed = s.solve_partial();
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.rate(b), 100.0);
+}
+
 }  // namespace
 }  // namespace tir::sim
