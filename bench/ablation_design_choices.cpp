@@ -33,24 +33,37 @@ void ablate(const exp::ClusterSetup& cluster, char cls, int np, int iters) {
   base.iterations = iters;
   base.calibration_iterations = std::min(iters, 5);
 
-  report("full improved pipeline", core::predict_lu(lu, cluster.platform, cluster.truth, base));
+  // Replay-side levers share one traced run and sweep in parallel
+  // (core::predict_lu_sweep): calibration procedure, network model,
+  // copy-time modelling and the back-end swap all replay the same trace.
+  std::vector<core::ReplayVariant> variants;
+  variants.push_back({"full improved pipeline", base});
 
   core::PipelineSettings s = base;
   s.force_classic_calibration = true;
-  report("- cache-aware calibration", core::predict_lu(lu, cluster.platform, cluster.truth, s));
+  variants.push_back({"- cache-aware calibration", s});
 
   s = base;
   s.force_identity_piecewise = true;
-  report("- piecewise network model", core::predict_lu(lu, cluster.platform, cluster.truth, s));
+  variants.push_back({"- piecewise network model", s});
+
+  variants.push_back({"- SMPI back-end (MSG replay)", base, core::Backend::Msg});
 
   s = base;
   s.replay_models_copy_time = true;
-  report("+ copy-time modelling", core::predict_lu(lu, cluster.platform, cluster.truth, s));
+  variants.push_back({"+ copy-time modelling", s});
 
   s = base;
   s.use_auto_calibration = true;
-  report("+ automatic calibration", core::predict_lu(lu, cluster.platform, cluster.truth, s));
+  variants.push_back({"+ automatic calibration", s});
 
+  for (const core::VariantPrediction& v :
+       core::predict_lu_sweep(lu, cluster.platform, cluster.truth, base, variants)) {
+    report(v.label.c_str(), v.prediction);
+  }
+
+  // Acquisition-affecting levers change the traced run itself, so they
+  // cannot share the sweep's trace and go through predict_lu individually.
   s = base;
   s.framework = core::Framework::Original;
   report("original pipeline (all levers off)",

@@ -43,6 +43,14 @@ def collect_rates(report):
     if sink:
         rates["null_sink.no_sink"] = sink["no_sink"]["actions_per_second"]
         rates["null_sink.with_null_sink"] = sink["with_null_sink"]["actions_per_second"]
+    sweep = report.get("sweep")
+    if sweep:
+        key = "sweep[{scenarios} scenarios]".format(**sweep)
+        rates[key + ".jobs1"] = sweep["jobs1"]["actions_per_second"]
+        # The parallel leg's rate depends on the host's core count, so it is
+        # only comparable against a baseline from equally-parallel hardware;
+        # the drop thresholds still catch regressions on the same CI runner.
+        rates[key + ".jobsN"] = sweep["jobsN"]["actions_per_second"]
     return rates
 
 
@@ -65,6 +73,15 @@ def check_gates(report):
                     k["identical_prediction"],
                 )
             )
+    sweep = report.get("sweep")
+    if sweep and not sweep.get("pass", True):
+        failures.append(
+            "scenario sweep: speedup {:.2f}x at jobs={} on {} cores"
+            " (required {:.1f}x, identical_results={})".format(
+                sweep["speedup"], sweep["jobs"], sweep["hardware_concurrency"],
+                sweep["required_speedup"], sweep["identical_results"],
+            )
+        )
     return failures
 
 

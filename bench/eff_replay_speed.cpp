@@ -24,6 +24,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__linux__)
@@ -33,11 +34,13 @@
 #endif
 
 #include "core/replay.hpp"
+#include "core/sweep.hpp"
 #include "exp/experiments.hpp"
 #include "obs/sink.hpp"
 #include "platform/clusters.hpp"
 #include "tit/trace.hpp"
 #include "titio/reader.hpp"
+#include "titio/shared.hpp"
 #include "titio/writer.hpp"
 
 using namespace tir;
@@ -80,6 +83,19 @@ struct KernelRecord {
   double speedup = 0;        ///< incremental throughput / full-resolve throughput
   double required = 0;       ///< gate: minimum speedup (0 = ungated data point)
   bool identical = false;    ///< both modes predicted the same time, exactly
+  bool pass = false;
+};
+
+struct SweepRecord {
+  int scenarios = 0;
+  int jobs = 0;               ///< worker count of the parallel leg
+  unsigned hardware = 0;      ///< std::thread::hardware_concurrency() here
+  double actions = 0;         ///< actions per scenario
+  double jobs1_wall = 0, jobs1_rate = 0;  ///< rate = scenarios*actions/wall
+  double jobsN_wall = 0, jobsN_rate = 0;
+  double speedup = 0;     ///< jobs1 wall / jobsN wall
+  double required = 0;    ///< gate armed from the hardware (0 = informational)
+  bool identical = false; ///< per-scenario results bitwise equal across legs
   bool pass = false;
 };
 
@@ -404,6 +420,83 @@ SinkRecord run_sink_overhead(const exp::ClusterSetup& cluster) {
   return rec;
 }
 
+// Parallel scenario sweep (core::sweep): 16 calibration-ladder scenarios
+// over one shared LU trace, replayed at 1 worker and at `jobs` workers.
+// Two promises are checked: per-scenario results are bit-identical
+// regardless of the worker count (parallelism is only across scenarios,
+// never inside one), and on parallel hardware the sweep actually scales.
+// The acceptance bar — >= 3x throughput at jobs=8 — arms only where the
+// host can deliver it; on narrower machines the gate degrades gracefully
+// (>= 2x on 4+ cores, >= 1.2x on 2+, informational on 1) and the recorded
+// hardware_concurrency documents which bar this JSON was produced under.
+SweepRecord run_sweep_case(const exp::ClusterSetup& cluster) {
+  apps::LuConfig lu;
+  lu.cls = apps::nas_class('B');
+  lu.nprocs = 8;
+  lu.iterations_override = 25;
+  const apps::MachineModel machine(cluster.truth);
+  apps::AcquisitionConfig acq;
+  acq.granularity = hwc::Granularity::Minimal;
+  acq.compiler = hwc::kO3;
+  acq.emit_trace = true;
+  const apps::RunResult traced = apps::run_lu(lu, cluster.platform, machine, acq);
+
+  const titio::SharedTrace shared(traced.trace);
+  const std::vector<core::Scenario> scenarios =
+      exp::rate_ladder(cluster.platform, cluster.truth.rate_in_cache, 16, 2.0);
+
+  SweepRecord rec;
+  rec.scenarios = static_cast<int>(scenarios.size());
+  rec.jobs = 8;
+  rec.hardware = std::thread::hardware_concurrency();
+  rec.actions = static_cast<double>(traced.trace.total_actions());
+  if (rec.hardware >= 8) {
+    rec.required = 3.0;
+  } else if (rec.hardware >= 4) {
+    rec.required = 2.0;
+  } else if (rec.hardware >= 2) {
+    rec.required = 1.2;
+  }
+
+  core::SweepOptions serial;
+  serial.jobs = 1;
+  auto start = std::chrono::steady_clock::now();
+  const std::vector<core::ScenarioOutcome> one = core::sweep(shared, scenarios, serial);
+  rec.jobs1_wall = seconds_since(start);
+
+  core::SweepOptions parallel_opts;
+  parallel_opts.jobs = rec.jobs;
+  start = std::chrono::steady_clock::now();
+  const std::vector<core::ScenarioOutcome> many = core::sweep(shared, scenarios, parallel_opts);
+  rec.jobsN_wall = seconds_since(start);
+
+  rec.identical = one.size() == many.size();
+  bool all_ok = true;
+  for (std::size_t i = 0; rec.identical && i < one.size(); ++i) {
+    all_ok = all_ok && one[i].ok && many[i].ok;
+    rec.identical = one[i].ok == many[i].ok &&
+                    one[i].result.simulated_time == many[i].result.simulated_time &&
+                    one[i].result.engine_steps == many[i].result.engine_steps &&
+                    one[i].result.actions_replayed == many[i].result.actions_replayed;
+  }
+  const double total_actions = rec.actions * rec.scenarios;
+  rec.jobs1_rate = total_actions / std::max(rec.jobs1_wall, 1e-9);
+  rec.jobsN_rate = total_actions / std::max(rec.jobsN_wall, 1e-9);
+  rec.speedup = rec.jobs1_wall / std::max(rec.jobsN_wall, 1e-9);
+  rec.pass = rec.identical && all_ok && (rec.required <= 0 || rec.speedup >= rec.required);
+
+  std::printf("\nParallel scenario sweep (core::sweep, %d scenarios x %.0f actions, %s):\n",
+              rec.scenarios, rec.actions, lu.label().c_str());
+  std::printf("  jobs=1  %8.3fs %10.0f actions/s\n", rec.jobs1_wall, rec.jobs1_rate);
+  std::printf("  jobs=%-2d %8.3fs %10.0f actions/s\n", rec.jobs, rec.jobsN_wall, rec.jobsN_rate);
+  std::printf("  speedup %.2fx on %u-core host (gate >= %.1fx%s), results %s -> %s\n",
+              rec.speedup, rec.hardware, rec.required,
+              rec.required <= 0 ? ", informational on 1 core" : "",
+              rec.identical ? "bit-identical" : "MISMATCH", rec.pass ? "PASS" : "FAIL");
+  std::fflush(stdout);
+  return rec;
+}
+
 long self_peak_rss_kib() {
 #if defined(__linux__)
   struct rusage usage {};
@@ -412,7 +505,7 @@ long self_peak_rss_kib() {
   return -1;
 }
 
-void write_report(const std::string& path, const SinkRecord& sink) {
+void write_report(const std::string& path, const SinkRecord& sink, const SweepRecord& sweep) {
   std::ofstream out(path);
   out.precision(12);
   out << "{\n  \"bench\": \"replay_speed\",\n";
@@ -455,7 +548,20 @@ void write_report(const std::string& path, const SinkRecord& sink) {
         << ", \"pass\": " << (k.pass ? "true" : "false") << "}"
         << (i + 1 < g_kernels.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"null_sink\": {\n";
+  out << "  ],\n  \"sweep\": {\n";
+  out << "    \"scenarios\": " << sweep.scenarios << ",\n";
+  out << "    \"jobs\": " << sweep.jobs << ",\n";
+  out << "    \"hardware_concurrency\": " << sweep.hardware << ",\n";
+  out << "    \"actions_per_scenario\": " << sweep.actions << ",\n";
+  out << "    \"jobs1\": {\"wall_seconds\": " << sweep.jobs1_wall
+      << ", \"actions_per_second\": " << sweep.jobs1_rate << "},\n";
+  out << "    \"jobsN\": {\"wall_seconds\": " << sweep.jobsN_wall
+      << ", \"actions_per_second\": " << sweep.jobsN_rate << "},\n";
+  out << "    \"speedup\": " << sweep.speedup << ",\n";
+  out << "    \"required_speedup\": " << sweep.required << ",\n";
+  out << "    \"identical_results\": " << (sweep.identical ? "true" : "false") << ",\n";
+  out << "    \"pass\": " << (sweep.pass ? "true" : "false") << "\n  },\n";
+  out << "  \"null_sink\": {\n";
   out << "    \"actions\": " << sink.actions << ",\n";
   out << "    \"repetitions\": " << sink.repetitions << ",\n";
   out << "    \"no_sink\": {\"wall_seconds\": " << sink.no_sink_wall
@@ -498,8 +604,9 @@ int main() {
   bool kernels_pass = true;
   for (const KernelRecord& k : g_kernels) kernels_pass = kernels_pass && k.pass;
 
+  const SweepRecord sweep = run_sweep_case(bd);
   const SinkRecord sink = run_sink_overhead(bd);
-  write_report("BENCH_replay_speed.json", sink);
+  write_report("BENCH_replay_speed.json", sink, sweep);
   std::printf("\nmachine-readable report -> BENCH_replay_speed.json\n");
-  return sink.pass && kernels_pass ? 0 : 1;
+  return sink.pass && kernels_pass && sweep.pass ? 0 : 1;
 }

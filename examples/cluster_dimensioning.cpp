@@ -2,23 +2,33 @@
 // "simulations can be used to determine a cost-effective hardware
 // configuration appropriate for the expected application workload".
 //
-//   $ ./cluster_dimensioning
+//   $ ./cluster_dimensioning [--jobs N]
 //
 // One Jacobi trace (the expected workload) is replayed, unchanged, on a
 // family of candidate clusters that vary node speed, interconnect
 // bandwidth and latency.  The trace is acquired exactly once - no access
 // to any of the candidate machines is needed, which is precisely what
-// time-independent traces buy.
+// time-independent traces buy.  The candidates are independent scenarios,
+// so they go through core::sweep: one shared immutable trace, one worker
+// per candidate, bit-identical results regardless of the worker count.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "apps/jacobi.hpp"
-#include "core/replay.hpp"
+#include "core/sweep.hpp"
 #include "platform/clusters.hpp"
+#include "titio/shared.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tir;
+
+  int jobs = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
+  }
 
   // The workload: a 4096x4096 Jacobi solver on 32 processes.
   apps::JacobiConfig workload;
@@ -26,8 +36,8 @@ int main() {
   workload.nx = 4096;
   workload.ny = 4096;
   workload.iterations = 200;
-  const tit::Trace trace = apps::jacobi_trace(workload);
-  const tit::TraceStats ts = tit::stats(trace);
+  const titio::SharedTrace trace(apps::jacobi_trace(workload));
+  const tit::TraceStats ts = tit::stats(trace.trace());
   std::printf("workload: jacobi %dx%d on %d procs, %zu actions, %.2e instructions\n\n",
               workload.nx, workload.ny, workload.nprocs, ts.actions, ts.compute_instructions);
 
@@ -46,30 +56,47 @@ int main() {
       {"premium   (fast CPU, 10GbE)", 4.0e9, 1.25e9, 1e-5, 2.8},
   };
 
+  // Build every candidate platform up front (scenarios borrow them const).
+  std::vector<platform::Platform> platforms(candidates.size());
+  std::vector<core::Scenario> scenarios;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    platform::ClusterSpec spec;
+    spec.prefix = "n";
+    spec.nodes = workload.nprocs;
+    spec.core_speed = candidates[i].core_speed;
+    spec.link_bandwidth = candidates[i].link_bw;
+    spec.link_latency = candidates[i].link_lat;
+    platform::build_flat_cluster(platforms[i], spec);
+
+    core::Scenario sc;
+    sc.platform = &platforms[i];
+    sc.config.rates = {candidates[i].core_speed};  // calibration at nominal speed
+    sc.label = candidates[i].name;
+    scenarios.push_back(std::move(sc));
+  }
+
+  core::SweepOptions options;
+  options.jobs = jobs;
+  const std::vector<core::ScenarioOutcome> outcomes = core::sweep(trace, scenarios, options);
+
   std::printf("%-30s | %10s | %12s | %s\n", "candidate cluster", "time", "time x cost",
               "verdict");
   std::printf("-------------------------------+------------+--------------+--------\n");
   double best_metric = 1e300;
   std::string best;
-  for (const Candidate& c : candidates) {
-    platform::Platform p;
-    platform::ClusterSpec spec;
-    spec.prefix = "n";
-    spec.nodes = workload.nprocs;
-    spec.core_speed = c.core_speed;
-    spec.link_bandwidth = c.link_bw;
-    spec.link_latency = c.link_lat;
-    platform::build_flat_cluster(p, spec);
-
-    core::ReplayConfig cfg;
-    cfg.rates = {c.core_speed};  // assume calibration at nominal speed
-    const double t = core::replay_smpi(trace, p, cfg).simulated_time;
-    const double metric = t * c.cost_units;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const core::ScenarioOutcome& o = outcomes[i];
+    if (!o.ok) {
+      std::printf("%-30s | replay failed: %s\n", o.label.c_str(), o.error.c_str());
+      continue;
+    }
+    const double t = o.result.simulated_time;
+    const double metric = t * candidates[i].cost_units;
     if (metric < best_metric) {
       best_metric = metric;
-      best = c.name;
+      best = o.label;
     }
-    std::printf("%-30s | %9.3fs | %12.3f |\n", c.name.c_str(), t, metric);
+    std::printf("%-30s | %9.3fs | %12.3f |\n", o.label.c_str(), t, metric);
   }
   std::printf("\nbest time-x-cost configuration: %s\n", best.c_str());
   std::printf("(one trace, five hypothetical machines, zero additional tracing runs)\n");

@@ -2,29 +2,52 @@
 // user view ("smpirun ... ./smpi_replay trace_description"):
 //
 //   $ ./replay_cli -np 8 -platform platform.txt -rate 2.5e9
-//                [-backend smpi|msg] [-contention] trace.manifest
+//                [-backend smpi|msg] [-contention] [-jobs N] trace.manifest
 //
 // The manifest lists one trace file per process, or a single shared file
 // (then -np is required), exactly as described in the paper.  This example
 // also doubles as the "bring your own trace" entry point: any tool that
 // writes the paper's action format can feed it.
+//
+// -rate takes a comma-separated list of calibrated rates; more than one
+// turns the invocation into a core::sweep (one scenario per rate over the
+// shared trace, -jobs workers), reporting each scenario's prediction.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "base/error.hpp"
-#include "core/replay.hpp"
+#include "core/sweep.hpp"
 #include "platform/clusters.hpp"
 #include "platform/parse.hpp"
 #include "tit/trace.hpp"
+#include "titio/shared.hpp"
 
 namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [-np N] [-platform FILE] [-rate INSTR_PER_S]\n"
-               "          [-backend smpi|msg] [-contention] TRACE_MANIFEST\n",
+               "usage: %s [-np N] [-platform FILE] [-rate INSTR_PER_S[,INSTR_PER_S...]]\n"
+               "          [-backend smpi|msg] [-contention] [-jobs N] TRACE_MANIFEST\n"
+               "\n"
+               "A comma-separated -rate list replays one scenario per rate over the\n"
+               "shared trace on -jobs workers (default: hardware concurrency).\n",
                argv0);
+}
+
+std::vector<double> parse_rates(const std::string& spec) {
+  std::vector<double> rates;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string item =
+        spec.substr(begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    if (!item.empty()) rates.push_back(std::atof(item.c_str()));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return rates;
 }
 
 }  // namespace
@@ -32,9 +55,10 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace tir;
   int np = -1;
+  int jobs = 0;  // 0 = hardware concurrency
   std::string platform_file;
   std::string manifest;
-  double rate = 1e9;
+  std::vector<double> rates = {1e9};
   bool use_msg = false;
   bool contention = false;
 
@@ -45,11 +69,17 @@ int main(int argc, char** argv) {
     } else if (arg == "-platform" && i + 1 < argc) {
       platform_file = argv[++i];
     } else if (arg == "-rate" && i + 1 < argc) {
-      rate = std::atof(argv[++i]);
+      rates = parse_rates(argv[++i]);
+      if (rates.empty()) {
+        usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "-backend" && i + 1 < argc) {
       use_msg = std::strcmp(argv[++i], "msg") == 0;
     } else if (arg == "-contention") {
       contention = true;
+    } else if (arg == "-jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else if (arg[0] != '-') {
       manifest = arg;
     } else {
@@ -63,8 +93,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const tit::Trace trace = tit::load_trace(manifest, np);
-    tit::validate(trace);
+    const titio::SharedTrace trace = titio::SharedTrace::load(manifest, {}, np);
+    tit::validate(trace.trace());
 
     platform::Platform platform;
     if (platform_file.empty()) {
@@ -72,7 +102,7 @@ int main(int argc, char** argv) {
       platform::ClusterSpec spec;
       spec.prefix = "node";
       spec.nodes = trace.nprocs();
-      spec.core_speed = rate;
+      spec.core_speed = rates.front();
       spec.link_bandwidth = 1.25e8;
       spec.link_latency = 3e-5;
       platform::build_flat_cluster(platform, spec);
@@ -82,21 +112,48 @@ int main(int argc, char** argv) {
       platform = platform::load_platform(platform_file);
     }
 
-    core::ReplayConfig cfg;
-    cfg.rates = {rate};
-    cfg.sharing = contention ? sim::Sharing::MaxMin : sim::Sharing::Uncontended;
-    const core::ReplayResult result = use_msg ? core::replay_msg(trace, platform, cfg)
-                                              : core::replay_smpi(trace, platform, cfg);
+    const core::Backend backend = use_msg ? core::Backend::Msg : core::Backend::Smpi;
+    std::vector<core::Scenario> scenarios;
+    for (const double rate : rates) {
+      core::Scenario sc;
+      sc.platform = &platform;
+      sc.config.rates = {rate};
+      sc.config.sharing = contention ? sim::Sharing::MaxMin : sim::Sharing::Uncontended;
+      sc.backend = backend;
+      char label[64];
+      std::snprintf(label, sizeof label, "rate=%g", rate);
+      sc.label = label;
+      scenarios.push_back(std::move(sc));
+    }
 
-    const tit::TraceStats ts = tit::stats(trace);
+    core::SweepOptions options;
+    options.jobs = jobs;
+    const std::vector<core::ScenarioOutcome> outcomes = core::sweep(trace, scenarios, options);
+
+    const tit::TraceStats ts = tit::stats(trace.trace());
     std::printf("trace            : %s (%d processes, %zu actions)\n", manifest.c_str(),
                 trace.nprocs(), ts.actions);
     std::printf("backend          : %s%s\n", use_msg ? "msg (old)" : "smpi (new)",
                 contention ? " + contention" : "");
-    std::printf("simulated time   : %.6f s\n", result.simulated_time);
-    std::printf("replay wall-clock: %.3f s (%.0f actions/s)\n", result.wall_clock_seconds,
-                ts.actions / (result.wall_clock_seconds > 0 ? result.wall_clock_seconds : 1e-9));
-    return 0;
+
+    int failures = 0;
+    for (const core::ScenarioOutcome& o : outcomes) {
+      if (!o.ok) {
+        std::fprintf(stderr, "tir_replay: %s: %s\n", o.label.c_str(), o.error.c_str());
+        ++failures;
+        continue;
+      }
+      if (outcomes.size() == 1) {
+        std::printf("simulated time   : %.6f s\n", o.result.simulated_time);
+        std::printf("replay wall-clock: %.3f s (%.0f actions/s)\n", o.result.wall_clock_seconds,
+                    ts.actions /
+                        (o.result.wall_clock_seconds > 0 ? o.result.wall_clock_seconds : 1e-9));
+      } else {
+        std::printf("%-24s : simulated %.6f s (wall %.3f s)\n", o.label.c_str(),
+                    o.result.simulated_time, o.result.wall_clock_seconds);
+      }
+    }
+    return failures == 0 ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "tir_replay: %s\n", e.what());
     return 1;

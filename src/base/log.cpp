@@ -1,8 +1,10 @@
 #include "base/log.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 
 namespace tir::log {
 
@@ -20,14 +22,19 @@ Level env_level() {
   return Level::Warn;
 }
 
-Level g_level = env_level();
-std::ostream* g_sink = nullptr;  // nullptr -> std::cerr
+// The logger is the one piece of process-global mutable state the replay
+// layers touch, so it must be safe from concurrent sweep workers: level and
+// sink are atomics (level() is on the hot path and stays one relaxed load),
+// and write() serializes record emission so lines never interleave.
+std::atomic<Level> g_level{env_level()};
+std::atomic<std::ostream*> g_sink{nullptr};  // nullptr -> std::cerr
+std::mutex g_write_mutex;
 
 }  // namespace
 
-Level level() { return g_level; }
-void set_level(Level l) { g_level = l; }
-void set_sink(std::ostream* sink) { g_sink = sink; }
+Level level() { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level l) { g_level.store(l, std::memory_order_relaxed); }
+void set_sink(std::ostream* sink) { g_sink.store(sink, std::memory_order_release); }
 
 const char* level_name(Level l) {
   switch (l) {
@@ -42,7 +49,9 @@ const char* level_name(Level l) {
 }
 
 void write(Level l, const std::string& msg) {
-  std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
+  std::ostream* const sink = g_sink.load(std::memory_order_acquire);
+  std::ostream& os = sink != nullptr ? *sink : std::cerr;
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
   os << "[tir:" << level_name(l) << "] " << msg << '\n';
 }
 

@@ -8,6 +8,11 @@
 // The level is taken from the TIR_LOG_LEVEL environment variable
 // (trace|debug|info|warn|error, default warn) and can be overridden
 // programmatically with set_level().
+//
+// Thread safety: all entry points are safe to call from concurrent replay
+// sessions (core::Sweep workers).  level()/set_level()/set_sink() are
+// atomic; write() serializes emission so records never interleave.  A sink
+// installed with set_sink() must itself outlive all logging threads.
 #pragma once
 
 #include <iosfwd>

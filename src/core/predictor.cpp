@@ -2,8 +2,62 @@
 
 #include "base/log.hpp"
 #include "base/stats.hpp"
+#include "core/sweep.hpp"
 
 namespace tir::core {
+
+namespace {
+
+/// Calibration procedure implied by a pipeline (step 3 of predict_lu).
+double calibrate_rate(const apps::LuConfig& lu, const platform::Platform& platform,
+                      const apps::MachineModel& machine, const PipelineSettings& settings) {
+  CalibrationSettings cal_settings;
+  cal_settings.acquisition = acquisition_for(settings);
+  cal_settings.iterations = settings.calibration_iterations;
+  const bool classic =
+      settings.framework == Framework::Original || settings.force_classic_calibration;
+  if (settings.use_auto_calibration && !classic) {
+    return calibrate_auto(platform, machine, cal_settings).rate_for(lu);
+  }
+  if (classic) {
+    return calibrate_classic(platform, machine, cal_settings).rate_for(lu);
+  }
+  const std::string classes(1, lu.cls.name);
+  return calibrate_cache_aware(platform, machine, cal_settings, classes).rate_for(lu);
+}
+
+/// Replay configuration implied by a pipeline (step 4 of predict_lu).  The
+/// MSG back-end ignores the mpi block, so it is only filled for SMPI.
+ReplayConfig replay_config_for(const PipelineSettings& settings,
+                               const platform::ClusterCalibrationTruth& truth, double rate,
+                               Backend backend) {
+  ReplayConfig cfg;
+  cfg.rates = {rate};
+  cfg.sharing = settings.sharing;
+  if (backend == Backend::Smpi) {
+    cfg.mpi.piecewise =
+        settings.force_identity_piecewise ? smpi::PiecewiseModel() : smpi::reference_piecewise();
+    cfg.mpi.model_copy_time = settings.replay_models_copy_time;
+    cfg.mpi.copy_rate = truth.copy_rate;
+  }
+  return cfg;
+}
+
+Prediction assemble(const apps::RunResult& real, const apps::RunResult& traced,
+                    const tit::TraceStats& trace_stats, double rate, ReplayResult replay) {
+  Prediction out;
+  out.calibrated_rate = rate;
+  out.replay = replay;
+  out.real_seconds = real.wall_time;
+  out.acquisition_seconds = traced.wall_time;
+  out.predicted_seconds = out.replay.simulated_time;
+  out.error_pct = stats::relative_error_pct(out.predicted_seconds, out.real_seconds);
+  out.overhead_pct = stats::relative_error_pct(out.acquisition_seconds, out.real_seconds);
+  out.trace_stats = trace_stats;
+  return out;
+}
+
+}  // namespace
 
 apps::AcquisitionConfig acquisition_for(const PipelineSettings& settings) {
   apps::AcquisitionConfig acq;
@@ -40,46 +94,85 @@ Prediction predict_lu(const apps::LuConfig& instance, const platform::Platform& 
   const apps::RunResult traced = apps::run_lu(lu, platform, machine, acq);
 
   // 3. Calibration, with the pipeline's own instrumentation settings.
-  CalibrationSettings cal_settings;
-  cal_settings.acquisition = acquisition_for(settings);
-  cal_settings.iterations = settings.calibration_iterations;
-
-  Prediction out;
-  const bool classic = settings.framework == Framework::Original ||
-                       settings.force_classic_calibration;
-  if (settings.use_auto_calibration && !classic) {
-    out.calibrated_rate = calibrate_auto(platform, machine, cal_settings).rate_for(lu);
-  } else if (classic) {
-    out.calibrated_rate = calibrate_classic(platform, machine, cal_settings).rate_for(lu);
-  } else {
-    const std::string classes(1, lu.cls.name);
-    out.calibrated_rate =
-        calibrate_cache_aware(platform, machine, cal_settings, classes).rate_for(lu);
-  }
+  const double rate = calibrate_rate(lu, platform, machine, settings);
 
   // 4. Replay.
-  ReplayConfig replay_cfg;
-  replay_cfg.rates = {out.calibrated_rate};
-  replay_cfg.sharing = settings.sharing;
-  if (settings.framework == Framework::Original) {
-    out.replay = replay_msg(traced.trace, platform, replay_cfg);
-  } else {
-    replay_cfg.mpi.piecewise =
-        settings.force_identity_piecewise ? smpi::PiecewiseModel() : smpi::reference_piecewise();
-    replay_cfg.mpi.model_copy_time = settings.replay_models_copy_time;
-    replay_cfg.mpi.copy_rate = truth.copy_rate;
-    out.replay = replay_smpi(traced.trace, platform, replay_cfg);
-  }
-
-  out.real_seconds = real.wall_time;
-  out.acquisition_seconds = traced.wall_time;
-  out.predicted_seconds = out.replay.simulated_time;
-  out.error_pct = stats::relative_error_pct(out.predicted_seconds, out.real_seconds);
-  out.overhead_pct = stats::relative_error_pct(out.acquisition_seconds, out.real_seconds);
-  out.trace_stats = tit::stats(traced.trace);
+  const Backend backend =
+      settings.framework == Framework::Original ? Backend::Msg : Backend::Smpi;
+  const ReplayConfig replay_cfg = replay_config_for(settings, truth, rate, backend);
+  const Prediction out = assemble(real, traced, tit::stats(traced.trace), rate,
+                                  replay(backend, traced.trace, platform, replay_cfg));
   TIR_LOG(Info, instance.label() << ": real=" << out.real_seconds
                                  << "s predicted=" << out.predicted_seconds
                                  << "s err=" << out.error_pct << "%");
+  return out;
+}
+
+std::vector<VariantPrediction> predict_lu_sweep(const apps::LuConfig& instance,
+                                                const platform::Platform& platform,
+                                                const platform::ClusterCalibrationTruth& truth,
+                                                const PipelineSettings& base,
+                                                const std::vector<ReplayVariant>& variants,
+                                                int jobs) {
+  for (const ReplayVariant& v : variants) {
+    const PipelineSettings& s = v.settings;
+    if (s.framework != base.framework || s.sharing != base.sharing || s.noise != base.noise ||
+        s.seed != base.seed || s.iterations != base.iterations) {
+      throw ConfigError("sweep variant '" + v.label +
+                        "' changes acquisition-affecting settings (framework/sharing/noise/"
+                        "seed/iterations); all variants replay one shared traced run — use a "
+                        "separate predict_lu call for it");
+    }
+  }
+
+  apps::LuConfig lu = instance;
+  if (lu.iterations_override <= 0) lu.iterations_override = base.iterations;
+  const apps::MachineModel machine(truth, base.noise, base.seed);
+
+  // Ground truth + acquisition once, shared by every variant.
+  apps::AcquisitionConfig orig = acquisition_for(base);
+  orig.granularity = hwc::Granularity::None;
+  orig.emit_trace = false;
+  const apps::RunResult real = apps::run_lu(lu, platform, machine, orig);
+  apps::AcquisitionConfig acq = acquisition_for(base);
+  acq.emit_trace = true;
+  const apps::RunResult traced = apps::run_lu(lu, platform, machine, acq);
+  const tit::TraceStats trace_stats = tit::stats(traced.trace);
+
+  // Calibrate serially (the machine model's noise RNG is single-threaded),
+  // then replay the shared trace under every variant on the worker pool.
+  std::vector<double> rates;
+  rates.reserve(variants.size());
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(variants.size());
+  for (const ReplayVariant& v : variants) {
+    rates.push_back(calibrate_rate(lu, platform, machine, v.settings));
+    Scenario sc;
+    sc.platform = &platform;
+    sc.backend = v.backend;
+    sc.label = v.label;
+    sc.config = replay_config_for(v.settings, truth, rates.back(), v.backend);
+    scenarios.push_back(std::move(sc));
+  }
+
+  const titio::SharedTrace shared(traced.trace);
+  SweepOptions options;
+  options.jobs = jobs;
+  const std::vector<ScenarioOutcome> outcomes = sweep(shared, scenarios, options);
+
+  std::vector<VariantPrediction> out;
+  out.reserve(variants.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ScenarioOutcome& o = outcomes[i];
+    if (!o.ok) {
+      throw Error("prediction sweep variant '" + o.label + "' failed: " + o.error, o.error_code);
+    }
+    out.push_back(
+        VariantPrediction{o.label, assemble(real, traced, trace_stats, rates[i], o.result)});
+    TIR_LOG(Info, instance.label() << " [" << o.label
+                                   << "]: predicted=" << out.back().prediction.predicted_seconds
+                                   << "s err=" << out.back().prediction.error_pct << "%");
+  }
   return out;
 }
 

@@ -62,4 +62,36 @@ Prediction predict_lu(const apps::LuConfig& instance, const platform::Platform& 
                       const platform::ClusterCalibrationTruth& truth,
                       const PipelineSettings& settings);
 
+/// One replay-side cell of a predict_lu_sweep: the levers that do NOT change
+/// the acquired trace (calibration procedure, piecewise model, copy-time
+/// modelling) plus the back-end that replays it.  Acquisition-affecting
+/// fields (framework, sharing, noise, seed, iterations) must match the
+/// sweep's base settings — predict_lu_sweep validates and throws ConfigError
+/// on a mismatch, because all variants share one traced run.
+struct ReplayVariant {
+  std::string label;
+  PipelineSettings settings;
+  Backend backend = Backend::Smpi;
+};
+
+struct VariantPrediction {
+  std::string label;
+  Prediction prediction;
+};
+
+/// Ablation-grid pipeline: run the ground-truth and instrumented executions
+/// ONCE under `base`, calibrate each variant, then replay the shared trace
+/// under every variant on a core::sweep worker pool (`jobs` <= 0 means
+/// hardware concurrency).  Results are in variant order and each carries the
+/// shared real/acquisition times, so error percentages are directly
+/// comparable across variants.  A variant whose replay fails aborts the
+/// sweep with the captured tir::Error (predictions are all-or-nothing here,
+/// unlike raw core::sweep outcomes).
+std::vector<VariantPrediction> predict_lu_sweep(const apps::LuConfig& instance,
+                                                const platform::Platform& platform,
+                                                const platform::ClusterCalibrationTruth& truth,
+                                                const PipelineSettings& base,
+                                                const std::vector<ReplayVariant>& variants,
+                                                int jobs = 0);
+
 }  // namespace tir::core

@@ -59,22 +59,13 @@ struct ReplayConfig {
   sim::Resolve resolve = sim::Resolve::Incremental;
 
   /// Cross-check the config against the trace before spawning anything:
-  /// a per-rank rate vector must cover every rank. Throws ConfigError
-  /// naming the mismatch. Both replay engines call this first.
-  void check(int nprocs) const {
-    if (rates.empty()) throw ConfigError("replay rate vector is empty");
-    if (rates.size() > 1 && rates.size() < static_cast<std::size_t>(nprocs)) {
-      throw ConfigError("replay has " + std::to_string(nprocs) + " ranks but only " +
-                        std::to_string(rates.size()) +
-                        " calibrated rates (need 1 or >= nprocs)");
-    }
-    for (std::size_t r = 0; r < rates.size(); ++r) {
-      if (!(rates[r] > 0.0)) {
-        throw ConfigError("calibrated rate for rank p" + std::to_string(r) +
-                          " is not positive: " + std::to_string(rates[r]));
-      }
-    }
-  }
+  /// a per-rank rate vector must cover every rank (throws ConfigError
+  /// naming the mismatch), and a vector *longer* than the rank count is
+  /// reported as a warning through the log and the attached sink — extra
+  /// entries are silently unreachable by rate_for(), which usually means a
+  /// miswired heterogeneous calibration.  Both replay engines call this
+  /// first (via core::ReplaySession).
+  void check(int nprocs) const;
 
   double rate_for(int rank) const {
     if (rates.size() == 1) return rates[0];
@@ -99,6 +90,15 @@ struct ReplayResult {
   bool degraded = false;
 };
 
+/// The two replay back-ends as a runtime-selectable value: what a sweep
+/// Scenario carries and what the generic replay() dispatches on.
+enum class Backend {
+  Smpi,  ///< the paper's improved framework (replay_smpi)
+  Msg,   ///< the paper's first prototype, kept as the baseline (replay_msg)
+};
+
+inline const char* backend_name(Backend b) { return b == Backend::Msg ? "msg" : "smpi"; }
+
 /// New SMPI-based replay (the paper's improved framework). The engines pull
 /// actions on demand through an ActionSource, so replay memory is bounded
 /// by the source (a streaming titio::Reader never materializes the trace).
@@ -109,11 +109,17 @@ ReplayResult replay_smpi(titio::ActionSource& source, const platform::Platform& 
 ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& platform,
                         const ReplayConfig& config);
 
+/// Backend-dispatching replay (the sweep layer's entry point).
+ReplayResult replay(Backend backend, titio::ActionSource& source,
+                    const platform::Platform& platform, const ReplayConfig& config);
+
 /// Materialized-trace convenience overloads (the original API): wrap the
 /// trace in a MemorySource and stream from RAM.
 ReplayResult replay_smpi(const tit::Trace& trace, const platform::Platform& platform,
                          const ReplayConfig& config);
 ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platform,
                         const ReplayConfig& config);
+ReplayResult replay(Backend backend, const tit::Trace& trace,
+                    const platform::Platform& platform, const ReplayConfig& config);
 
 }  // namespace tir::core

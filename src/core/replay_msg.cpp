@@ -11,12 +11,11 @@
 //   2. No piecewise-linear protocol corrections: raw link parameters.
 //   3. Collectives are monolithic analytic delays (synchronize, then sleep
 //      a closed-form estimate) instead of point-to-point algorithms.
-#include <chrono>
 #include <cmath>
 #include <deque>
 #include <memory>
 
-#include "core/replay.hpp"
+#include "core/session.hpp"
 #include "msg/msg.hpp"
 #include "obs/replay_events.hpp"
 
@@ -206,11 +205,8 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
 
 ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& platform,
                         const ReplayConfig& config) {
-  const auto t0 = std::chrono::steady_clock::now();
-  config.check(source.nprocs());
-  sim::Engine engine(platform, sim::EngineConfig{config.sharing, config.watchdog_seconds,
-                                                 config.sink, config.resolve});
-  OldReplayShared shared(engine, source.nprocs());
+  ReplaySession session(source, platform, config);
+  OldReplayShared shared(session.engine(), session.nprocs());
 
   // Analytic model parameters from a representative host pair.
   if (platform.host_count() >= 2) {
@@ -224,22 +220,16 @@ ReplayResult replay_msg(titio::ActionSource& source, const platform::Platform& p
     shared.model.bandwidth = platform.loopback_bandwidth();
   }
 
-  ReplayResult result;
-  for (int r = 0; r < source.nprocs(); ++r) {
+  for (int r = 0; r < session.nprocs(); ++r) {
     const platform::HostId host =
         static_cast<platform::HostId>(r % static_cast<int>(platform.host_count()));
-    engine.spawn("rank" + std::to_string(r), host, 0, [&, r](sim::Ctx& ctx) -> sim::Coro {
-      return replay_rank_msg(ctx, r, source, shared, config, result.actions_replayed);
-    });
+    session.engine().spawn("rank" + std::to_string(r), host, 0,
+                           [&session, &source, &shared, &config, r](sim::Ctx& ctx) -> sim::Coro {
+                             return replay_rank_msg(ctx, r, source, shared, config,
+                                                    session.actions_replayed());
+                           });
   }
-  engine.run();
-  result.simulated_time = engine.now();
-  result.engine_steps = engine.steps();
-  result.skipped_actions = source.skipped_actions();
-  result.degraded = result.skipped_actions > 0;
-  result.wall_clock_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return result;
+  return session.finish();
 }
 
 ReplayResult replay_msg(const tit::Trace& trace, const platform::Platform& platform,

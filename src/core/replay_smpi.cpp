@@ -2,10 +2,9 @@
 // Trace.  This mirrors the paper's reimplementation where an action like
 // `p0 send p1 1240` becomes a plain smpi_mpi_send() and every protocol
 // subtlety lives in the runtime, not in the replay code.
-#include <chrono>
 #include <deque>
 
-#include "core/replay.hpp"
+#include "core/session.hpp"
 #include "obs/replay_events.hpp"
 #include "smpi/world.hpp"
 
@@ -160,24 +159,14 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
 
 ReplayResult replay_smpi(titio::ActionSource& source, const platform::Platform& platform,
                          const ReplayConfig& config) {
-  const auto t0 = std::chrono::steady_clock::now();
-  config.check(source.nprocs());
-  sim::Engine engine(platform, sim::EngineConfig{config.sharing, config.watchdog_seconds,
-                                                 config.sink, config.resolve});
-  smpi::World world(engine, config.mpi, smpi::World::scatter_hosts(platform, source.nprocs()),
-                    std::vector<int>(static_cast<std::size_t>(source.nprocs()), 0));
-  ReplayResult result;
+  ReplaySession session(source, platform, config);
+  smpi::World world(session.engine(), config.mpi,
+                    smpi::World::scatter_hosts(platform, session.nprocs()),
+                    std::vector<int>(static_cast<std::size_t>(session.nprocs()), 0));
   world.spawn_ranks([&](sim::Ctx& ctx, int me) -> sim::Coro {
-    return replay_rank_smpi(ctx, me, source, world, config, result.actions_replayed);
+    return replay_rank_smpi(ctx, me, source, world, config, session.actions_replayed());
   });
-  engine.run();
-  result.simulated_time = engine.now();
-  result.engine_steps = engine.steps();
-  result.skipped_actions = source.skipped_actions();
-  result.degraded = result.skipped_actions > 0;
-  result.wall_clock_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return result;
+  return session.finish();
 }
 
 ReplayResult replay_smpi(const tit::Trace& trace, const platform::Platform& platform,

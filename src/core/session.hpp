@@ -1,0 +1,67 @@
+// ReplaySession: the shared prologue/epilogue of both replay back-ends.
+//
+// Before this class existed, replay_msg and replay_smpi each duplicated the
+// whole session plumbing: config cross-check, source freshness (rewind or
+// fail), watchdog arming, engine construction, run, and ReplayResult
+// assembly including degraded-source accounting.  A session factors all of
+// that out so a back-end is reduced to its protocol-specific part — build
+// the protocol state, spawn one actor per rank — between a constructor call
+// and finish().
+//
+//   ReplaySession session(source, platform, config);   // prologue
+//   <build protocol state over session.engine(), spawn ranks>
+//   return session.finish();                           // run + epilogue
+//
+// Reentrancy contract (the basis of core::Sweep): a session owns its
+// sim::Engine and touches no global mutable state, so any number of
+// sessions may run concurrently on distinct threads as long as each has its
+// own ActionSource (titio::SharedTrace::cursor()), its own obs::Sink (or
+// none), and a const-shared platform::Platform.  One session is itself
+// strictly single-threaded, which is what keeps every scenario's result
+// bit-identical regardless of how many sessions run beside it.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "core/replay.hpp"
+
+namespace tir::core {
+
+class ReplaySession {
+ public:
+  /// Prologue: validates the config against the source (ReplayConfig::check,
+  /// including the extra-rates warning), rewinds an already-consumed
+  /// rewindable source (or throws ConfigError for single-pass ones), and
+  /// constructs the engine with the watchdog armed and the sink attached.
+  /// The source, platform and config must outlive the session.
+  ReplaySession(titio::ActionSource& source, const platform::Platform& platform,
+                const ReplayConfig& config);
+
+  ReplaySession(const ReplaySession&) = delete;
+  ReplaySession& operator=(const ReplaySession&) = delete;
+
+  sim::Engine& engine() { return *engine_; }
+  titio::ActionSource& source() { return source_; }
+  const ReplayConfig& config() const { return config_; }
+  int nprocs() const { return nprocs_; }
+
+  /// Counter the per-rank actor bodies bump once per replayed action;
+  /// finish() folds it into ReplayResult::actions_replayed.
+  std::uint64_t& actions_replayed() { return actions_; }
+
+  /// Epilogue: run the engine to quiescence and assemble the ReplayResult
+  /// (prediction, step/action counts, degraded-source accounting, host
+  /// wall-clock since the prologue).  Call exactly once.
+  ReplayResult finish();
+
+ private:
+  titio::ActionSource& source_;
+  const ReplayConfig& config_;
+  std::chrono::steady_clock::time_point t0_;
+  int nprocs_;
+  std::uint64_t actions_ = 0;
+  std::unique_ptr<sim::Engine> engine_;
+};
+
+}  // namespace tir::core

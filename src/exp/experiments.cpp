@@ -1,5 +1,6 @@
 #include "exp/experiments.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -31,6 +32,28 @@ int bench_iterations(int fallback) {
 
 double scale_to_full(double seconds, const apps::LuConfig& lu) {
   return seconds * static_cast<double>(lu.cls.iterations) / lu.iterations();
+}
+
+std::vector<core::Scenario> rate_ladder(const platform::Platform& platform, double base_rate,
+                                        int count, double span, sim::Sharing sharing) {
+  if (count < 1) throw ConfigError("rate_ladder needs at least one scenario");
+  if (!(base_rate > 0.0) || !(span >= 1.0)) {
+    throw ConfigError("rate_ladder needs base_rate > 0 and span >= 1");
+  }
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    // Geometric ladder from base/span to base*span (just base when count==1).
+    const double t = count > 1 ? 2.0 * i / (count - 1) - 1.0 : 0.0;
+    const double rate = base_rate * std::pow(span, t);
+    core::Scenario sc;
+    sc.platform = &platform;
+    sc.config.rates = {rate};
+    sc.config.sharing = sharing;
+    sc.label = "rate[" + std::to_string(i) + "]=" + std::to_string(rate);
+    scenarios.push_back(std::move(sc));
+  }
+  return scenarios;
 }
 
 CounterComparison compare_counters(const apps::LuConfig& lu, const ClusterSetup& cluster,

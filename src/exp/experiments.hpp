@@ -8,6 +8,7 @@
 #include "apps/lu.hpp"
 #include "base/stats.hpp"
 #include "core/predictor.hpp"
+#include "core/sweep.hpp"
 #include "hwc/instrument.hpp"
 #include "platform/clusters.hpp"
 
@@ -36,6 +37,17 @@ int bench_iterations(int fallback = 10);
 /// Scale a reduced-iteration time up to the full NPB iteration count so
 /// absolute values are comparable with the paper's tables.
 double scale_to_full(double seconds, const apps::LuConfig& lu);
+
+// --- scenario grids for core::sweep -----------------------------------------
+
+/// Build a calibrated-rate ladder over one platform: `count` scenarios whose
+/// single-rank rate spans [base_rate/span, base_rate*span] geometrically
+/// (the grid a "how sensitive is the prediction to calibration error?"
+/// sweep replays).  All scenarios borrow `platform`, which must outlive the
+/// sweep; labels are "rate[i]=<rate>".
+std::vector<core::Scenario> rate_ladder(const platform::Platform& platform, double base_rate,
+                                        int count, double span = 2.0,
+                                        sim::Sharing sharing = sim::Sharing::Uncontended);
 
 // --- instrumentation-impact experiments (Figures 1/2/4/5) ------------------
 

@@ -117,6 +117,12 @@ class Sink {
   /// The phase opened by the last on_phase_begin for `rank` ended at `now`.
   virtual void on_phase_end(int /*rank*/, double /*now*/) {}
 
+  /// A non-fatal configuration/replay warning (e.g. a calibrated-rate vector
+  /// longer than the rank count): the replay proceeds, but the condition is
+  /// worth surfacing next to the run's other observability output.  Also
+  /// mirrored to the log at Warn level by the emitter.
+  virtual void on_warning(std::string_view /*text*/) {}
+
   // --- failure diagnosis ---------------------------------------------------
   /// A deadlock/watchdog report is being assembled: `text` is the per-actor
   /// wait-for diagnosis line (the diagnoser callbacks of PR 2), routed here

@@ -1,0 +1,47 @@
+#include "obs/sweep.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tir::obs {
+
+void SweepAggregator::record(std::size_t index, std::string label, MetricsReport report) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(Entry{index, std::move(label), std::move(report)});
+}
+
+std::vector<SweepAggregator::Entry> SweepAggregator::entries() const {
+  std::vector<Entry> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sorted = entries_;
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  return sorted;
+}
+
+SweepAggregator::Summary SweepAggregator::summary() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Summary s;
+  s.scenarios = entries_.size();
+  if (entries_.empty()) return s;
+  s.min_simulated_time = std::numeric_limits<double>::infinity();
+  for (const Entry& e : entries_) {
+    s.total_simulated_time += e.report.simulated_time;
+    s.total_steps += e.report.steps;
+    s.total_compute += e.report.total_compute;
+    s.total_comm += e.report.total_comm;
+    s.total_wait += e.report.total_wait;
+    s.min_simulated_time = std::min(s.min_simulated_time, e.report.simulated_time);
+    s.max_simulated_time = std::max(s.max_simulated_time, e.report.simulated_time);
+  }
+  return s;
+}
+
+std::size_t SweepAggregator::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace tir::obs

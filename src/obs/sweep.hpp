@@ -1,0 +1,61 @@
+// Sweep-level observability: combine per-session metrics across a scenario
+// sweep.
+//
+// Each replay session drives exactly one obs::Sink on its own thread, so a
+// parallel sweep cannot funnel events into one TimelineSink.  The pattern is
+// per-session sinks plus this aggregator: give every scenario its own
+// TimelineSink, aggregate() it when the scenario finishes (e.g. from
+// core::SweepOptions::on_scenario_done, which may fire concurrently), and
+// record() the report here.  SweepAggregator is the only obs type that is
+// safe to share across threads — every member synchronizes on an internal
+// mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tir::obs {
+
+class SweepAggregator {
+ public:
+  struct Entry {
+    std::size_t index = 0;  ///< scenario position in the sweep's input order
+    std::string label;
+    MetricsReport report;
+  };
+
+  /// Cross-scenario roll-up of the recorded reports.
+  struct Summary {
+    std::size_t scenarios = 0;
+    double total_simulated_time = 0.0;
+    std::uint64_t total_steps = 0;
+    double total_compute = 0.0;
+    double total_comm = 0.0;
+    double total_wait = 0.0;
+    double min_simulated_time = 0.0;
+    double max_simulated_time = 0.0;
+  };
+
+  /// Record one scenario's report.  Thread-safe; callable concurrently from
+  /// sweep workers.
+  void record(std::size_t index, std::string label, MetricsReport report);
+
+  /// Snapshot of everything recorded so far, sorted by scenario index.
+  std::vector<Entry> entries() const;
+
+  /// Thread-safe roll-up over the recorded reports.
+  Summary summary() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tir::obs

@@ -97,6 +97,8 @@ void TimelineSink::on_phase_end(int rank, double now) {
   end_time_ = std::max(end_time_, now);
 }
 
+void TimelineSink::on_warning(std::string_view text) { warnings_.emplace_back(text); }
+
 void TimelineSink::on_diagnosis(int actor, std::string_view name, std::string_view text,
                                 double now) {
   diagnoses_.push_back(Diagnosis{actor, std::string(name), std::string(text), now});

@@ -70,6 +70,7 @@ class TimelineSink : public Sink {
   void on_mailbox_match(std::string_view mailbox, double bytes) override;
   void on_phase_begin(const PhaseEvent& e, double now) override;
   void on_phase_end(int rank, double now) override;
+  void on_warning(std::string_view text) override;
   void on_diagnosis(int actor, std::string_view name, std::string_view text,
                     double now) override;
 
@@ -86,6 +87,8 @@ class TimelineSink : public Sink {
 
   const std::vector<LinkUsage>& link_usage() const { return links_; }
   const std::vector<Diagnosis>& diagnoses() const { return diagnoses_; }
+  /// Non-fatal warnings emitted during the run (config checks, ...).
+  const std::vector<std::string>& warnings() const { return warnings_; }
 
   /// MSG-layer mailbox traffic (empty for the SMPI back-end).
   struct MailboxStats {
@@ -126,6 +129,7 @@ class TimelineSink : public Sink {
   std::vector<std::uint64_t> link_stamp_;  ///< last step a link was seen busy
   std::unordered_map<std::string, MailboxStats> mailboxes_;
   std::vector<Diagnosis> diagnoses_;
+  std::vector<std::string> warnings_;
   MessageStats messages_;
   std::uint64_t steps_ = 0;
   double end_time_ = 0.0;

@@ -13,6 +13,13 @@
 // experiments chooses its own per-phase rates (see apps/machine_model.hpp);
 // the gap between the two is precisely what the paper's calibration section
 // is about.
+//
+// Thread safety: a Platform is immutable once built (builders mutate, const
+// accessors don't — route() computes fresh results with no mutable caches),
+// so one const Platform may be shared by any number of concurrent replay
+// sessions without synchronization.  This const-shareability is load-bearing
+// for core::Sweep; do not add lazily-populated mutable state here without
+// revisiting docs/architecture.md.
 #pragma once
 
 #include <cstdint>

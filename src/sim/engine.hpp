@@ -21,6 +21,14 @@
 //
 // The engine is single-threaded and deterministic: identical inputs produce
 // bit-identical simulated schedules, in either Resolve mode.
+//
+// Thread safety (docs/architecture.md): an Engine and everything it owns —
+// actors, activity pools, the time heap, the max-min solver — is strictly
+// confined to the thread that constructed it; no engine state is global or
+// shared between instances.  Concurrent *engines* are therefore safe and
+// the unit of parallelism in core::Sweep: one engine per session per
+// thread, all reading one const platform::Platform.  Never share an Engine,
+// a Ctx, or an obs::Sink between threads.
 #pragma once
 
 #include <chrono>

@@ -27,6 +27,12 @@
 //
 // The Solver owns scratch buffers so steady-state solving does not allocate;
 // shrink_to_fit() releases their high-water-mark capacity between traces.
+//
+// Thread safety: all state (flow set, sharing graph, scratch buffers) is
+// instance-local and there are no statics, so distinct Solver instances may
+// run on distinct threads concurrently — which is how parallel sweep
+// sessions coexist.  A single instance is not synchronized; it belongs to
+// one engine on one thread.
 #pragma once
 
 #include <cstdint>

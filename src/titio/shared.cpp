@@ -1,0 +1,23 @@
+#include "titio/shared.hpp"
+
+namespace tir::titio {
+
+SharedTrace::SharedTrace(std::shared_ptr<const tit::Trace> trace) : trace_(std::move(trace)) {
+  if (trace_ == nullptr) throw ConfigError("SharedTrace constructed from a null trace");
+}
+
+SharedTrace SharedTrace::load(const std::string& path, ReaderOptions options, int nprocs) {
+  if (!is_binary_trace(path)) {
+    return SharedTrace(std::make_shared<const tit::Trace>(tit::load_trace(path, nprocs)), 0);
+  }
+  Reader reader(path, options);
+  tit::Trace trace(reader.nprocs());
+  tit::Action a;
+  for (int r = 0; r < reader.nprocs(); ++r) {
+    while (reader.next(r, a)) trace.push(a);
+  }
+  return SharedTrace(std::make_shared<const tit::Trace>(std::move(trace)),
+                     reader.skipped_actions());
+}
+
+}  // namespace tir::titio

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "base/error.hpp"
 #include "tit/trace.hpp"
 
 namespace tir::titio {
@@ -31,6 +32,30 @@ class ActionSource {
   /// ReplayResult::degraded so callers can distinguish a clean replay from
   /// a best-effort one. Sources without a recovery mode report 0.
   virtual std::uint64_t skipped_actions() const { return 0; }
+
+  /// Reset every rank cursor to the start of the stream so the same source
+  /// object can feed another replay.  Single-pass sources (the streaming
+  /// titio::Reader) cannot restart and keep the default, which throws
+  /// ConfigError.
+  virtual void rewind() {
+    throw ConfigError(
+        "this ActionSource was already consumed by a previous replay and "
+        "cannot be rewound; open a fresh source (or use a rewindable one: "
+        "MemorySource, SharedTrace cursors)");
+  }
+
+  /// Called by the replay session when it starts consuming this source.
+  /// The first session streams from wherever the cursors stand; any later
+  /// session rewinds first, so reusing an exhausted source either works
+  /// (rewindable sources) or fails with ConfigError — never silently
+  /// replays zero actions into a bogus 0-second prediction.
+  void begin_session() {
+    if (session_started_) rewind();
+    session_started_ = true;
+  }
+
+ private:
+  bool session_started_ = false;
 };
 
 /// Adapter over a fully materialized Trace: the existing in-memory API,
@@ -49,6 +74,8 @@ class MemorySource final : public ActionSource {
     out = seq[i++];
     return true;
   }
+
+  void rewind() override { pos_.assign(pos_.size(), 0); }
 
  private:
   const tit::Trace& trace_;
