@@ -51,6 +51,15 @@ def collect_rates(report):
         # only comparable against a baseline from equally-parallel hardware;
         # the drop thresholds still catch regressions on the same CI runner.
         rates[key + ".jobsN"] = sweep["jobsN"]["actions_per_second"]
+    service = report.get("service")
+    if service:
+        # BENCH_service.json (tird_bench): sustained jobs/s per leg.  Same
+        # drop thresholds as the replay figures; the cold legs guard the
+        # no-cache path, the cached legs the hot path.
+        for leg in ("cached_serial", "cold_serial", "cached_concurrent",
+                    "cold_concurrent"):
+            if leg in service:
+                rates["service." + leg] = service[leg]["jobs_per_second"]
     return rates
 
 
@@ -82,6 +91,22 @@ def check_gates(report):
                 sweep["required_speedup"], sweep["identical_results"],
             )
         )
+    service = report.get("service")
+    if service:
+        if not service.get("pass", True):
+            failures.append(
+                "service cache: speedup {:.2f}x (required {:.1f}x,"
+                " identical_results={})".format(
+                    service["speedup"], service["required_speedup"],
+                    service["identical_results"],
+                )
+            )
+        overload = service.get("overload", {})
+        if not overload.get("pass", True):
+            failures.append(
+                "service overload: {submitted} submitted -> {completed} completed"
+                " + {rejected} rejected ({failed} failed)".format(**overload)
+            )
     return failures
 
 

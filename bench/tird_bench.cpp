@@ -1,0 +1,375 @@
+// tird_bench: load-test the prediction service (src/svc) and record the
+// economics its cache claims: sustained jobs/s and latency percentiles for
+// cache-hit vs cold-decode jobs against the *same* daemon binary, plus an
+// open-loop overload phase that proves admission control rejects (not
+// queues) the excess.
+//
+//   $ ./tird_bench [-out BENCH_service.json] [-clients N] [-jobs M] [-workers W]
+//
+// Methodology:
+//   * One LU A-8 trace is acquired in-process and written as TITB into a
+//     scratch directory; every job replays it with a declarative cache-aware
+//     calibration (the expensive, deterministic part a service amortizes).
+//   * Two in-process Servers on Unix sockets, identical but for the cache:
+//     "cached" with the default budget, "cold" with cache_bytes=0 (no
+//     retention — every job pays fingerprint + decode + calibrate).
+//   * Closed loop: N clients, each submitting M jobs back to back; qps and
+//     p50/p99 per server.  Note the cold server still single-flights
+//     concurrent identical loads (stampede protection is part of the
+//     product), so the headline speedup gate uses the 1-client legs where
+//     every cold job really pays the full cost; the N-client legs are
+//     reported alongside.
+//   * Open loop: arrivals every few ms against a 1-worker, depth-2 queue —
+//     overload by construction; the gate is that the excess is rejected
+//     with retry-after, and everything admitted completes.
+//   * Bit-identity: every scenario response's simulated_time /
+//     actions_replayed / engine_steps crossed the wire as %.17g JSON; the
+//     bench requires the full multiset identical between cold and cached
+//     paths (gate "bit_identical_results").
+//
+// The report is written as BENCH_service.json; bench/compare_bench.py
+// understands the "service" section and fails CI on any embedded
+// pass:false gate or a >15% qps drop against bench/baselines/.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/run.hpp"
+#include "exp/experiments.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "tit/trace.hpp"
+#include "titio/writer.hpp"
+
+namespace {
+
+using namespace tir;
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// One scenario result as it crossed the wire; equality here is the
+/// bit-identity check (doubles round-tripped through %.17g JSON).
+struct WireResult {
+  double simulated_time = 0.0;
+  double actions_replayed = 0.0;
+  double engine_steps = 0.0;
+  bool operator==(const WireResult&) const = default;
+  bool operator<(const WireResult& o) const {
+    return std::tie(simulated_time, actions_replayed, engine_steps) <
+           std::tie(o.simulated_time, o.actions_replayed, o.engine_steps);
+  }
+};
+
+struct LoadResult {
+  std::size_t jobs = 0;
+  std::size_t rejected_retries = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_queue_wait_ms = 0.0;
+  std::vector<WireResult> results;
+};
+
+svc::JobRequest make_job(const std::string& trace_path,
+                         const platform::ClusterCalibrationTruth& truth) {
+  svc::JobRequest request;
+  request.op = "predict";
+  request.trace = trace_path;
+  request.calibrate = true;
+  request.calibration.procedure = "cache-aware";
+  request.calibration.truth = truth;
+  request.calibration.instance_class = 'A';
+  request.calibration.instance_nprocs = 8;
+  svc::ScenarioSpec spec;
+  spec.label = "calibrated";
+  request.scenarios.push_back(spec);
+  return request;
+}
+
+/// Closed loop: `clients` connections, each submitting `jobs_per_client`
+/// jobs back to back.  Rejections are retried after the server's hint and
+/// counted.
+LoadResult run_closed_loop(const std::string& endpoint, const svc::JobRequest& request,
+                           int clients, int jobs_per_client) {
+  LoadResult load;
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  double queue_wait_ms_sum = 0.0;
+  std::atomic<std::size_t> rejected{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      svc::Client client(endpoint);
+      for (int j = 0; j < jobs_per_client; ++j) {
+        const auto j0 = Clock::now();
+        svc::JobResult result;
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          result = client.submit(request);
+          if (!result.rejected) break;
+          ++rejected;
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              result.retry_after_ms > 0 ? result.retry_after_ms : 1));
+        }
+        const double latency_ms = 1e3 * seconds_between(j0, Clock::now());
+        if (!result.done) {
+          std::fprintf(stderr, "tird_bench: job failed: [%s] %s\n",
+                       result.error_code.c_str(), result.error.c_str());
+          continue;
+        }
+        const std::lock_guard<std::mutex> lock(mutex);
+        latencies_ms.push_back(latency_ms);
+        queue_wait_ms_sum += 1e3 * result.epilogue.num_or("queue_wait_seconds", 0.0);
+        for (const svc::Json& s : result.scenarios) {
+          load.results.push_back({s.num_or("simulated_time", -1.0),
+                                  s.num_or("actions_replayed", -1.0),
+                                  s.num_or("engine_steps", -1.0)});
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  load.wall_seconds = seconds_between(t0, Clock::now());
+  load.jobs = latencies_ms.size();
+  load.rejected_retries = rejected.load();
+  load.qps = load.jobs / (load.wall_seconds > 0 ? load.wall_seconds : 1e-9);
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    load.p50_ms = latencies_ms[latencies_ms.size() / 2];
+    load.p99_ms = latencies_ms[std::min(latencies_ms.size() - 1,
+                                        latencies_ms.size() * 99 / 100)];
+    load.mean_queue_wait_ms = queue_wait_ms_sum / static_cast<double>(latencies_ms.size());
+  }
+  return load;
+}
+
+struct OverloadResult {
+  std::size_t submitted = 0;
+  std::size_t rejected = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+};
+
+/// Open loop: fire `jobs` arrivals at a fixed interval regardless of
+/// completions (each on its own connection), against a deliberately tiny
+/// queue.  No retries — a rejection is the measurement.
+OverloadResult run_open_loop(const std::string& endpoint, const svc::JobRequest& request,
+                             int jobs, std::chrono::milliseconds interval) {
+  OverloadResult overload;
+  overload.submitted = static_cast<std::size_t>(jobs);
+  std::atomic<std::size_t> rejected{0}, completed{0}, failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    threads.emplace_back([&] {
+      try {
+        svc::Client client(endpoint);
+        const svc::JobResult result = client.submit(request);
+        if (result.rejected) {
+          ++rejected;
+        } else if (result.done) {
+          ++completed;
+        } else {
+          ++failed;
+        }
+      } catch (const std::exception&) {
+        ++failed;
+      }
+    });
+    std::this_thread::sleep_for(interval);
+  }
+  for (std::thread& t : threads) t.join();
+  overload.rejected = rejected.load();
+  overload.completed = completed.load();
+  overload.failed = failed.load();
+  return overload;
+}
+
+void print_load(const char* label, const LoadResult& load) {
+  std::printf("  %-22s %6.1f jobs/s  p50 %7.2f ms  p99 %7.2f ms  "
+              "queue-wait %6.2f ms  (%zu jobs, %zu retries)\n",
+              label, load.qps, load.p50_ms, load.p99_ms, load.mean_queue_wait_ms,
+              load.jobs, load.rejected_retries);
+}
+
+std::string load_json(const char* name, const LoadResult& load, int clients) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof buffer,
+                "    \"%s\": {\"clients\": %d, \"jobs\": %zu, \"wall_seconds\": %.6f, "
+                "\"jobs_per_second\": %.6f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
+                "\"mean_queue_wait_ms\": %.6f, \"rejected_retries\": %zu}",
+                name, clients, load.jobs, load.wall_seconds, load.qps, load.p50_ms,
+                load.p99_ms, load.mean_queue_wait_ms, load.rejected_retries);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_service.json";
+  int clients = 4;
+  int jobs_per_client = 6;
+  int workers = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "-clients" && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else if (arg == "-jobs" && i + 1 < argc) {
+      jobs_per_client = std::atoi(argv[++i]);
+    } else if (arg == "-workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [-out FILE] [-clients N] [-jobs M] [-workers W]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "tird_bench_scratch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // --- acquire the workload trace -------------------------------------------
+  const exp::ClusterSetup cluster = exp::bordereau_setup();
+  apps::LuConfig lu;
+  lu.cls = apps::nas_class('A');
+  lu.nprocs = 8;
+  lu.iterations_override = 2;  // short replay: the cache delta, not the
+                               // replay, should dominate the cold/hit ratio
+  apps::AcquisitionConfig acq;
+  acq.granularity = hwc::Granularity::Minimal;
+  acq.compiler = hwc::kO3;
+  acq.emit_trace = true;
+  const apps::MachineModel machine(cluster.truth);
+  const apps::RunResult run = apps::run_lu(lu, cluster.platform, machine, acq);
+  const std::string trace_path = (dir / "lu_A8.titb").string();
+  titio::write_binary_trace(run.trace, trace_path);
+
+  const svc::JobRequest request = make_job(trace_path, cluster.truth);
+
+  std::printf("tird_bench: LU A-8 trace, %zu actions, %d clients x %d jobs\n",
+              tit::stats(run.trace).actions, clients, jobs_per_client);
+
+  // --- cached vs cold servers (same binary, only the cache budget differs) ---
+  LoadResult cached_1, cold_1, cached_n, cold_n;
+  {
+    svc::ServerOptions options;
+    options.endpoint = "unix:" + (dir / "warm.sock").string();
+    options.workers = workers;
+    svc::Server server(options);
+    server.start();
+    svc::Client(server.endpoint()).submit(request);  // prime the caches
+    cached_1 = run_closed_loop(server.endpoint(), request, 1, clients * jobs_per_client);
+    cached_n = run_closed_loop(server.endpoint(), request, clients, jobs_per_client);
+    server.shutdown();
+    server.wait();
+  }
+  {
+    svc::ServerOptions options;
+    options.endpoint = "unix:" + (dir / "cold.sock").string();
+    options.workers = workers;
+    options.cache_bytes = 0;  // no retention: every job decodes + calibrates
+    svc::Server server(options);
+    server.start();
+    cold_1 = run_closed_loop(server.endpoint(), request, 1, clients * jobs_per_client);
+    cold_n = run_closed_loop(server.endpoint(), request, clients, jobs_per_client);
+    server.shutdown();
+    server.wait();
+  }
+
+  std::printf("\nClosed loop (cache-aware calibration + replay per job):\n");
+  print_load("cached, 1 client", cached_1);
+  print_load("cold,   1 client", cold_1);
+  char label[64];
+  std::snprintf(label, sizeof label, "cached, %d clients", clients);
+  print_load(label, cached_n);
+  std::snprintf(label, sizeof label, "cold,   %d clients", clients);
+  print_load(label, cold_n);
+
+  // The gate rides the 1-client legs: with concurrency the cold server's
+  // single-flight shares identical in-flight loads (by design), so only the
+  // serial legs measure the full per-job cold cost.
+  const double speedup = cached_1.qps / (cold_1.qps > 0 ? cold_1.qps : 1e-9);
+  const double speedup_n = cached_n.qps / (cold_n.qps > 0 ? cold_n.qps : 1e-9);
+  const double required_speedup = 5.0;
+
+  // --- bit-identity across every path ---------------------------------------
+  std::vector<WireResult> all;
+  for (const LoadResult* load : {&cached_1, &cold_1, &cached_n, &cold_n}) {
+    all.insert(all.end(), load->results.begin(), load->results.end());
+  }
+  const bool identical =
+      !all.empty() && std::all_of(all.begin(), all.end(),
+                                  [&](const WireResult& r) { return r == all.front(); });
+
+  // --- open-loop overload: backpressure, not collapse ------------------------
+  OverloadResult overload;
+  {
+    svc::ServerOptions options;
+    options.endpoint = "unix:" + (dir / "tiny.sock").string();
+    options.workers = 1;
+    options.queue_capacity = 2;
+    svc::Server server(options);
+    server.start();
+    svc::Client(server.endpoint()).submit(request);  // prime
+    overload = run_open_loop(server.endpoint(), request, 24, std::chrono::milliseconds(2));
+    server.shutdown();
+    server.wait();
+  }
+  const bool backpressure_ok =
+      overload.rejected > 0 && overload.failed == 0 &&
+      overload.completed + overload.rejected == overload.submitted;
+
+  const bool speedup_pass = identical && speedup >= required_speedup;
+  std::printf("\nCache speedup: %.2fx at 1 client (gate >= %.1fx), %.2fx at %d clients; "
+              "results %s\n",
+              speedup, required_speedup, speedup_n, clients,
+              identical ? "bit-identical" : "MISMATCH");
+  std::printf("Overload: %zu submitted -> %zu completed + %zu rejected (%zu failed)  %s\n",
+              overload.submitted, overload.completed, overload.rejected, overload.failed,
+              backpressure_ok ? "PASS" : "FAIL");
+
+  // --- report ----------------------------------------------------------------
+  std::ofstream out(out_path);
+  out.precision(17);
+  out << "{\n  \"service\": {\n";
+  out << "    \"trace_actions\": " << tit::stats(run.trace).actions << ",\n";
+  out << "    \"workers\": " << core::resolve_jobs(workers) << ",\n";
+  out << load_json("cached_serial", cached_1, 1) << ",\n";
+  out << load_json("cold_serial", cold_1, 1) << ",\n";
+  out << load_json("cached_concurrent", cached_n, clients) << ",\n";
+  out << load_json("cold_concurrent", cold_n, clients) << ",\n";
+  out << "    \"speedup\": " << speedup << ",\n";
+  out << "    \"speedup_concurrent\": " << speedup_n << ",\n";
+  out << "    \"required_speedup\": " << required_speedup << ",\n";
+  out << "    \"identical_results\": " << (identical ? "true" : "false") << ",\n";
+  out << "    \"pass\": " << (speedup_pass ? "true" : "false") << ",\n";
+  out << "    \"overload\": {\"submitted\": " << overload.submitted
+      << ", \"completed\": " << overload.completed << ", \"rejected\": " << overload.rejected
+      << ", \"failed\": " << overload.failed
+      << ", \"pass\": " << (backpressure_ok ? "true" : "false") << "}\n";
+  out << "  }\n}\n";
+  if (!out) std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
+  out.close();
+  std::printf("\nreport: %s\n", out_path.c_str());
+
+  fs::remove_all(dir);
+  return (speedup_pass && backpressure_ok) ? 0 : 1;
+}

@@ -32,9 +32,20 @@ void usage(const char* argv0) {
                "          [-backend smpi|msg] [-contention] [-jobs N] TRACE_MANIFEST\n"
                "\n"
                "A comma-separated -rate list replays one scenario per rate over the\n"
-               "shared trace on -jobs workers (default: hardware concurrency).\n",
+               "shared trace on -jobs workers (default: hardware concurrency).\n"
+               "\n"
+               "Exit status: 0 success, 2 usage, 10+code on failure where code is the\n"
+               "tir::ErrorCode of the first failed scenario (10 generic, 11 parse,\n"
+               "12 config, 13 malformed-trace, 14 corrupt-frame, 15 simulation,\n"
+               "16 deadlock, 17 watchdog, 18 internal); the code name is printed on\n"
+               "stderr so scripted clients can dispatch on either.\n",
                argv0);
 }
+
+/// Scripted-client contract: a failure exits with 10 + the ErrorCode value,
+/// so exit statuses distinguish a corrupt trace from a deadlock from a
+/// watchdog kill without parsing stderr.
+int exit_status(tir::ErrorCode code) { return 10 + static_cast<int>(code); }
 
 std::vector<double> parse_rates(const std::string& spec) {
   std::vector<double> rates;
@@ -137,9 +148,12 @@ int main(int argc, char** argv) {
                 contention ? " + contention" : "");
 
     int failures = 0;
+    ErrorCode first_failure = ErrorCode::Generic;
     for (const core::ScenarioOutcome& o : outcomes) {
       if (!o.ok) {
-        std::fprintf(stderr, "tir_replay: %s: %s\n", o.label.c_str(), o.error.c_str());
+        std::fprintf(stderr, "tir_replay: %s: [%s] %s\n", o.label.c_str(),
+                     error_code_name(o.error_code), o.error.c_str());
+        if (failures == 0) first_failure = o.error_code;
         ++failures;
         continue;
       }
@@ -153,9 +167,9 @@ int main(int argc, char** argv) {
                     o.result.simulated_time, o.result.wall_clock_seconds);
       }
     }
-    return failures == 0 ? 0 : 1;
+    return failures == 0 ? 0 : exit_status(first_failure);
   } catch (const Error& e) {
-    std::fprintf(stderr, "tir_replay: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "tir_replay: [%s] %s\n", e.code_name(), e.what());
+    return exit_status(e.code());
   }
 }

@@ -1,0 +1,201 @@
+// tir-submit: submit one prediction job to a running tird and print the
+// streamed results (docs/service.md).
+//
+//   $ ./tir-submit -connect unix:/tmp/tird.sock trace.titb
+//   $ ./tir-submit -connect tcp:127.0.0.1:7410 -platform cluster.txt
+//                  -rate 2.5e9,3e9 -backend smpi -metrics trace.manifest
+//   $ ./tir-submit -connect ... -calibrate cache-aware -truth graphene trace.titb
+//   $ ./tir-submit -connect ... -ping | -stats | -flush | -shutdown
+//
+// Exit status mirrors replay_cli's scripted-client contract: 0 success,
+// 2 usage, 3 rejected (backpressure — retry after the printed hint),
+// 10+code on a failed job or scenario.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/error.hpp"
+#include "platform/clusters.hpp"
+#include "svc/client.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s -connect ENDPOINT [-np N] [-platform FILE]\n"
+               "          [-rate R[,R...]] [-backend smpi|msg] [-contention]\n"
+               "          [-watchdog SECONDS] [-metrics]\n"
+               "          [-calibrate classic|cache-aware|auto] [-truth bordereau|graphene]\n"
+               "          [-class A-H] [-json] TRACE\n"
+               "       %s -connect ENDPOINT -ping|-stats|-flush|-shutdown\n"
+               "\n"
+               "Each -rate becomes one scenario; with -calibrate and no -rate the\n"
+               "daemon's calibrated rate is used (and cached server-side).  -json\n"
+               "echoes the raw response lines instead of the human summary.\n"
+               "\n"
+               "Exit status: 0 success, 2 usage, 3 rejected (queue full; retry after\n"
+               "the printed retry_after_ms), 10+code on failure (see replay_cli).\n",
+               argv0, argv0);
+}
+
+int exit_status(const std::string& code_name) {
+  for (int c = 0; c <= static_cast<int>(tir::ErrorCode::Internal); ++c) {
+    if (code_name == tir::error_code_name(static_cast<tir::ErrorCode>(c))) return 10 + c;
+  }
+  return 10;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tir;
+  std::string endpoint;
+  std::string op;
+  bool json_output = false;
+  svc::JobRequest request;
+  request.op = "predict";
+  std::vector<double> rates;
+  svc::ScenarioSpec base;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-connect" && i + 1 < argc) {
+      endpoint = argv[++i];
+    } else if (arg == "-ping" || arg == "-stats" || arg == "-flush" || arg == "-shutdown") {
+      op = arg.substr(1);
+    } else if (arg == "-np" && i + 1 < argc) {
+      request.nprocs = std::atoi(argv[++i]);
+    } else if (arg == "-platform" && i + 1 < argc) {
+      request.platform = argv[++i];
+    } else if (arg == "-rate" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      std::size_t begin = 0;
+      while (begin <= spec.size()) {
+        const std::size_t comma = spec.find(',', begin);
+        const std::string item =
+            spec.substr(begin, comma == std::string::npos ? std::string::npos : comma - begin);
+        if (!item.empty()) rates.push_back(std::atof(item.c_str()));
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+      }
+    } else if (arg == "-backend" && i + 1 < argc) {
+      base.backend = std::strcmp(argv[++i], "msg") == 0 ? core::Backend::Msg
+                                                        : core::Backend::Smpi;
+    } else if (arg == "-contention") {
+      base.contention = true;
+    } else if (arg == "-watchdog" && i + 1 < argc) {
+      base.watchdog_seconds = std::atof(argv[++i]);
+    } else if (arg == "-metrics") {
+      request.metrics = true;
+    } else if (arg == "-calibrate" && i + 1 < argc) {
+      request.calibrate = true;
+      request.calibration.procedure = argv[++i];
+    } else if (arg == "-truth" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      request.calibrate = true;
+      request.calibration.truth = name == "bordereau" ? platform::bordereau_truth()
+                                                      : platform::graphene_truth();
+    } else if (arg == "-class" && i + 1 < argc) {
+      request.calibration.instance_class = argv[++i][0];
+    } else if (arg == "-json") {
+      json_output = true;
+    } else if (arg[0] != '-') {
+      request.trace = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (endpoint.empty() || (op.empty() && request.trace.empty())) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    svc::Client client(endpoint);
+
+    if (!op.empty()) {
+      if (op == "ping") {
+        const bool alive = client.ping();
+        std::printf("%s\n", alive ? "pong" : "no answer");
+        return alive ? 0 : 1;
+      }
+      if (op == "stats") {
+        std::printf("%s\n", client.stats().dump().c_str());
+        return 0;
+      }
+      if (op == "flush") return client.flush() ? 0 : 1;
+      return client.shutdown_server() ? 0 : 1;
+    }
+
+    if (rates.empty()) {
+      base.label = request.calibrate ? "calibrated" : "default";
+      request.scenarios.push_back(base);
+    } else {
+      for (const double rate : rates) {
+        svc::ScenarioSpec spec = base;
+        spec.rates = {rate};
+        char label[64];
+        std::snprintf(label, sizeof label, "rate=%g", rate);
+        spec.label = label;
+        request.scenarios.push_back(std::move(spec));
+      }
+    }
+    if (request.calibrate && request.calibration.truth.rate_in_cache <= 0) {
+      // A calibration needs machine truth; default to the paper's graphene.
+      request.calibration.truth = platform::graphene_truth();
+    }
+
+    const svc::JobResult result = client.submit(request);
+
+    if (json_output) {
+      if (!result.started.is_null()) std::printf("%s\n", result.started.dump().c_str());
+      for (const svc::Json& s : result.scenarios) std::printf("%s\n", s.dump().c_str());
+      if (!result.epilogue.is_null()) std::printf("%s\n", result.epilogue.dump().c_str());
+    }
+
+    if (result.rejected) {
+      std::fprintf(stderr, "tir-submit: rejected (queue full), retry after %d ms\n",
+                   result.retry_after_ms);
+      return 3;
+    }
+    if (result.failed) {
+      std::fprintf(stderr, "tir-submit: [%s] %s\n", result.error_code.c_str(),
+                   result.error.c_str());
+      return exit_status(result.error_code);
+    }
+
+    int failures = 0;
+    std::string first_code;
+    for (const svc::Json& s : result.scenarios) {
+      const std::string label = s.str_or("label", "?");
+      if (s.bool_or("ok", false)) {
+        if (!json_output) {
+          std::printf("%-24s : simulated %.6f s (wall %.3f s)\n", label.c_str(),
+                      s.num_or("simulated_time", 0.0), s.num_or("wall_clock_seconds", 0.0));
+        }
+      } else {
+        std::fprintf(stderr, "tir-submit: %s: [%s] %s\n", label.c_str(),
+                     s.str_or("error_code", "?").c_str(), s.str_or("error", "").c_str());
+        if (failures == 0) first_code = s.str_or("error_code", "generic");
+        ++failures;
+      }
+    }
+    if (!json_output) {
+      std::printf("job %llu: %s cache, queue %.3f ms, decode %.3f ms, "
+                  "calibrate %.3f ms, replay %.3f ms\n",
+                  static_cast<unsigned long long>(result.id),
+                  result.trace_cache_hit() ? "hit" : "miss",
+                  1e3 * result.epilogue.num_or("queue_wait_seconds", 0.0),
+                  1e3 * result.epilogue.num_or("decode_seconds", 0.0),
+                  1e3 * result.epilogue.num_or("calibrate_seconds", 0.0),
+                  1e3 * result.epilogue.num_or("replay_seconds", 0.0));
+    }
+    return failures == 0 ? 0 : exit_status(first_code);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tir-submit: [%s] %s\n", e.code_name(), e.what());
+    return 10 + static_cast<int>(e.code());
+  }
+}

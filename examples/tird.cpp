@@ -1,0 +1,102 @@
+// tird: the time-independent-replay prediction daemon (docs/service.md).
+//
+//   $ ./tird -listen unix:/tmp/tird.sock [-workers N] [-queue N]
+//            [-cache-mb MB] [-retry-after-ms MS]
+//
+// Serves newline-delimited JSON prediction jobs (src/svc) until SIGTERM or
+// SIGINT, then *drains*: every job already admitted runs to completion and
+// streams its results before the process exits.  The {"op":"shutdown"} op
+// triggers the same drain from the wire.
+//
+// Signals are handled on a dedicated sigwait thread — no async-signal-unsafe
+// work ever runs in handler context.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "base/error.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-listen ENDPOINT] [-workers N] [-queue N] [-cache-mb MB]\n"
+               "          [-retry-after-ms MS]\n"
+               "\n"
+               "ENDPOINT is unix:/path or tcp:HOST:PORT (port 0 = kernel-assigned;\n"
+               "the resolved endpoint is printed on stdout).  Defaults: -listen\n"
+               "unix:/tmp/tird.sock, -workers 0 (hardware concurrency), -queue 64,\n"
+               "-cache-mb 256 (0 disables caching), -retry-after-ms 50.\n"
+               "\n"
+               "SIGTERM/SIGINT or {\"op\":\"shutdown\"} drain admitted jobs, then exit.\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tir;
+  svc::ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-listen" && i + 1 < argc) {
+      options.endpoint = argv[++i];
+    } else if (arg == "-workers" && i + 1 < argc) {
+      options.workers = std::atoi(argv[++i]);
+    } else if (arg == "-queue" && i + 1 < argc) {
+      options.queue_capacity = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "-cache-mb" && i + 1 < argc) {
+      options.cache_bytes = static_cast<std::uint64_t>(std::atof(argv[++i]) * (1 << 20));
+    } else if (arg == "-retry-after-ms" && i + 1 < argc) {
+      options.retry_after_ms = std::atoi(argv[++i]);
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals in every thread (the server's workers inherit
+  // this mask), then give them to a dedicated watcher thread via sigwait.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  try {
+    svc::Server server(options);
+    server.start();
+    std::printf("tird: listening on %s\n", server.endpoint().c_str());
+    std::fflush(stdout);
+
+    std::atomic<bool> exiting{false};
+    std::thread watcher([&] {
+      int sig = 0;
+      sigwait(&signals, &sig);
+      if (exiting.load()) return;  // woken by main after a wire-side shutdown
+      std::fprintf(stderr, "tird: %s — draining admitted jobs\n", strsignal(sig));
+      server.shutdown();
+    });
+
+    server.wait();
+    // If the drain came over the wire ({"op":"shutdown"}), the watcher is
+    // still parked in sigwait: mark the exit and send ourselves the signal it
+    // is waiting for.  A signal that raced in stays pending and dies with us.
+    exiting.store(true);
+    kill(getpid(), SIGTERM);
+    watcher.join();
+    std::fprintf(stderr, "tird: drained, exiting\n");
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tird: [%s] %s\n", e.code_name(), e.what());
+    return 1;
+  }
+}

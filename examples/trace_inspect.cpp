@@ -19,6 +19,7 @@
 #include "tit/trace.hpp"
 #include "tit/validate.hpp"
 #include "titio/reader.hpp"
+#include "titio/shared.hpp"
 
 namespace {
 
@@ -118,6 +119,9 @@ int inspect_binary(const std::string& path) {
   std::printf("trace    : %s (TITB binary, %zu frames)\n", path.c_str(),
               reader.frame_count());
   std::printf("processes: %d\n", reader.nprocs());
+  // The service cache key (docs/service.md): frame CRCs folded in file order.
+  std::printf("hash     : %016llx (titb frame-CRC content hash)\n",
+              static_cast<unsigned long long>(reader.content_hash()));
 
   Summary s;
   s.ranks.resize(static_cast<std::size_t>(reader.nprocs()));
@@ -136,6 +140,8 @@ int inspect_text(const std::string& path, int np) {
   const tit::Trace trace = tit::load_trace(path, np);
   std::printf("trace    : %s\n", path.c_str());
   std::printf("processes: %d\n", trace.nprocs());
+  std::printf("hash     : %016llx (decoded-action content hash)\n",
+              static_cast<unsigned long long>(titio::hash_actions(trace)));
 
   Summary s;
   s.ranks.resize(static_cast<std::size_t>(trace.nprocs()));

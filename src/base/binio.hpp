@@ -28,4 +28,16 @@ std::int64_t get_varint_signed(const std::uint8_t* data, std::size_t size, std::
 /// (pass the previous return value as `seed` to checksum in chunks).
 std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
 
+/// 64-bit content-fingerprint mixing (hash_combine-style): fold `v` into the
+/// running hash `h`.  Stable across platforms and releases — fingerprints
+/// built from it (titio::SharedTrace::content_hash, the service cache keys)
+/// may be persisted and compared between processes.
+inline constexpr std::uint64_t kHashSeed = 0xcbf29ce484222325ull;
+
+inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0x100000001b3ull;
+  return h ^ (h >> 29);
+}
+
 }  // namespace tir::binio

@@ -1,5 +1,6 @@
 #include "core/calibration.hpp"
 
+#include <cstdio>
 #include <numeric>
 
 #include "base/log.hpp"
@@ -100,6 +101,53 @@ AutoCalibration calibrate_auto(const platform::Platform& platform,
     TIR_LOG(Debug, "auto-calibration ws=" << ws << " rate=" << cal.rates.back());
   }
   return cal;
+}
+
+std::string calibration_cache_key(const CalibrationRequest& request) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "%s|classes=%s|it=%d|truth=%.17g,%.17g,%.17g,%.17g,%.17g|noise=%.17g|seed=%llu"
+                "|auto=%d,%.17g|instance=%c-%d",
+                request.procedure.c_str(), request.classes.c_str(), request.iterations,
+                request.truth.rate_in_cache, request.truth.rate_out_of_cache,
+                request.truth.l2_bytes, request.truth.copy_rate,
+                request.truth.per_message_overhead, request.noise,
+                static_cast<unsigned long long>(request.seed), request.auto_steps,
+                request.probe_instructions, request.instance_class, request.instance_nprocs);
+  return buf;
+}
+
+double calibrate_rate(const platform::Platform& platform, const CalibrationRequest& request) {
+  if (request.truth.rate_in_cache <= 0.0 || request.truth.l2_bytes <= 0.0) {
+    throw ConfigError("calibration request needs a machine truth (rate_in_cache and l2_bytes)");
+  }
+  const apps::MachineModel machine(request.truth, request.noise, request.seed);
+  CalibrationSettings settings;
+  settings.iterations = request.iterations;
+  // The improved pipeline's acquisition mode: minimal instrumentation, -O3.
+  settings.acquisition.granularity = hwc::Granularity::Minimal;
+  settings.acquisition.compiler = hwc::kO3;
+  settings.acquisition.noise = request.noise;
+  settings.acquisition.seed = request.seed;
+
+  apps::LuConfig instance;
+  instance.cls = apps::nas_class(request.instance_class);
+  instance.nprocs = request.instance_nprocs;
+
+  if (request.procedure == "classic") {
+    return calibrate_classic(platform, machine, settings).rate_for(instance);
+  }
+  if (request.procedure == "cache-aware") {
+    return calibrate_cache_aware(platform, machine, settings, request.classes)
+        .rate_for(instance);
+  }
+  if (request.procedure == "auto") {
+    return calibrate_auto(platform, machine, settings, request.auto_steps,
+                          request.probe_instructions)
+        .rate_for(instance);
+  }
+  throw ConfigError("unknown calibration procedure '" + request.procedure +
+                    "' (expected classic, cache-aware or auto)");
 }
 
 CacheAwareCalibration calibrate_cache_aware(const platform::Platform& platform,

@@ -83,4 +83,39 @@ AutoCalibration calibrate_auto(const platform::Platform& platform,
                                const CalibrationSettings& settings, int steps = 9,
                                double probe_instructions = 2e9);
 
+// --- declarative calibration (the prediction service's entry point) ---------
+//
+// A prediction job names its calibration procedure as data instead of code so
+// the daemon (src/svc) can run it on demand and cache the result: the
+// procedures above all simulate acquisition-machine runs, which is exactly
+// the expensive part a long-lived service amortizes across queries
+// (docs/service.md).  Everything is deterministic — the same request against
+// the same platform yields a bit-identical rate, which is what makes the
+// cached and the cold paths of the service interchangeable.
+
+struct CalibrationRequest {
+  std::string procedure = "cache-aware";  ///< "classic" | "cache-aware" | "auto"
+  std::string classes = "BC";             ///< cache-aware: instance classes to run
+  int iterations = 5;                     ///< SSOR iterations per calibration run
+  /// Ground truth of the acquisition machine (what the probes run against).
+  platform::ClusterCalibrationTruth truth{};
+  double noise = 0.01;
+  std::uint64_t seed = 1;
+  int auto_steps = 9;                     ///< auto: working-set ladder points
+  double probe_instructions = 2e9;        ///< auto: kernel size per sample
+  /// The instance whose rate the job wants (rate_for resolution).
+  char instance_class = 'C';
+  int instance_nprocs = 8;
+};
+
+/// Canonical text form of a request: every field, fixed order, %.17g floats.
+/// Appending the platform's content fingerprint gives the daemon's
+/// calibration cache key — equal keys guarantee equal rates.
+std::string calibration_cache_key(const CalibrationRequest& request);
+
+/// Run the requested procedure against `platform` and resolve the instance's
+/// calibrated rate.  Throws ConfigError on an unknown procedure or an
+/// unusable machine truth (zero in-cache rate or L2 size).
+double calibrate_rate(const platform::Platform& platform, const CalibrationRequest& request);
+
 }  // namespace tir::core

@@ -5,9 +5,10 @@
 
 namespace tir::obs {
 
-void SweepAggregator::record(std::size_t index, std::string label, MetricsReport report) {
+void SweepAggregator::record(std::size_t index, std::string label, MetricsReport report,
+                             JobTiming timing) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  entries_.push_back(Entry{index, std::move(label), std::move(report)});
+  entries_.push_back(Entry{index, std::move(label), std::move(report), timing});
 }
 
 std::vector<SweepAggregator::Entry> SweepAggregator::entries() const {
@@ -35,6 +36,9 @@ SweepAggregator::Summary SweepAggregator::summary() const {
     s.total_wait += e.report.total_wait;
     s.min_simulated_time = std::min(s.min_simulated_time, e.report.simulated_time);
     s.max_simulated_time = std::max(s.max_simulated_time, e.report.simulated_time);
+    s.total_queue_wait += e.timing.queue_wait_seconds;
+    s.total_replay_wall += e.timing.replay_wall_seconds;
+    s.max_queue_wait = std::max(s.max_queue_wait, e.timing.queue_wait_seconds);
   }
   return s;
 }

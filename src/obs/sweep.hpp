@@ -23,10 +23,27 @@ namespace tir::obs {
 
 class SweepAggregator {
  public:
+  /// Host-side timing of one job/scenario around its replay: how long the
+  /// work sat in an admission queue before a worker picked it up, and how
+  /// long the replay itself ran.  Both zero for plain in-process sweeps; the
+  /// prediction service (src/svc) fills them so service metrics separate
+  /// time-in-queue from time-in-replay.
+  struct JobTiming {
+    // Explicit constructors instead of member initializers: JobTiming is a
+    // default argument of record() below, and a nested class's NSDMIs are
+    // not usable before the enclosing class is complete.
+    JobTiming() : JobTiming(0.0, 0.0) {}
+    JobTiming(double queue_wait, double replay_wall)
+        : queue_wait_seconds(queue_wait), replay_wall_seconds(replay_wall) {}
+    double queue_wait_seconds;
+    double replay_wall_seconds;
+  };
+
   struct Entry {
     std::size_t index = 0;  ///< scenario position in the sweep's input order
     std::string label;
     MetricsReport report;
+    JobTiming timing;
   };
 
   /// Cross-scenario roll-up of the recorded reports.
@@ -39,11 +56,16 @@ class SweepAggregator {
     double total_wait = 0.0;
     double min_simulated_time = 0.0;
     double max_simulated_time = 0.0;
+    // Host-side service timing (JobTiming roll-up).
+    double total_queue_wait = 0.0;
+    double total_replay_wall = 0.0;
+    double max_queue_wait = 0.0;
   };
 
   /// Record one scenario's report.  Thread-safe; callable concurrently from
   /// sweep workers.
-  void record(std::size_t index, std::string label, MetricsReport report);
+  void record(std::size_t index, std::string label, MetricsReport report,
+              JobTiming timing = JobTiming());
 
   /// Snapshot of everything recorded so far, sorted by scenario index.
   std::vector<Entry> entries() const;

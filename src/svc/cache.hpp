@@ -1,0 +1,202 @@
+// Content-hash-keyed, byte-budgeted LRU cache with single-flight loading.
+//
+// The daemon's whole economic argument (ROADMAP item 1, after Cornebize &
+// Legrand's "many queries over the same inputs") is that repeated prediction
+// jobs over the same trace should pay decode and calibration once.  This
+// cache is that memory: keys are 64-bit content fingerprints
+// (titio::SharedTrace::content_hash, core::calibration_cache_key folded
+// through binio::mix64), values are whatever the daemon wants to reuse —
+// decoded SharedTraces, parsed platforms, calibrated rates.
+//
+// Properties:
+//
+//   * Byte budget, not entry count — a decoded trace can be megabytes while
+//     a calibrated rate is 8 bytes, so each entry declares its cost and the
+//     cache evicts least-recently-used entries until the budget holds.  An
+//     entry larger than the whole budget is returned to the caller but never
+//     retained (counted in stats().uncacheable).
+//
+//   * Single-flight loading — get_or_load() guarantees the loader runs at
+//     most once per key even under a stampede of concurrent misses: late
+//     arrivals block on the in-flight load and share its result (or rethrow
+//     its failure).  A failed load caches nothing.
+//
+//   * Thread-safe throughout; the loader itself runs outside the cache lock
+//     so a slow decode never blocks unrelated hits.
+//
+// Values must be cheap to copy (shared_ptr-like); SharedTrace and
+// shared_ptr<const Platform> both are.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "base/error.hpp"
+
+namespace tir::svc {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t uncacheable = 0;  ///< loads larger than the whole budget
+  std::uint64_t bytes = 0;        ///< current cost sum of retained entries
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity_bytes = 0;
+};
+
+template <typename V>
+class LruCache {
+ public:
+  /// A zero budget disables retention entirely (every lookup is a miss);
+  /// the single-flight guarantee still holds for concurrent loads.
+  explicit LruCache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Look up `key`; on a miss run `loader()` (outside the lock, at most once
+  /// per key across threads) and retain its result at `cost(value)` bytes.
+  /// Loader exceptions propagate to every waiter of that flight.
+  V get_or_load(std::uint64_t key, const std::function<V()>& loader,
+                const std::function<std::uint64_t(const V&)>& cost) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (auto it = map_.find(key); it != map_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);  // most recently used
+        return it->second->value;
+      }
+      auto flight = flights_.find(key);
+      if (flight == flights_.end()) break;
+      // Someone else is loading this key: wait for the flight to land, then
+      // re-check (the entry may have been evicted again, or the load failed
+      // and we should try our own).
+      std::shared_ptr<Flight> f = flight->second;
+      f->cv.wait(lock, [&] { return f->done; });
+      if (f->error) std::rethrow_exception(f->error);
+      if (f->has_value) {
+        ++stats_.hits;
+        return f->value;
+      }
+    }
+    ++stats_.misses;
+    auto f = std::make_shared<Flight>();
+    flights_.emplace(key, f);
+    lock.unlock();
+
+    V value{};
+    std::exception_ptr error;
+    try {
+      value = loader();
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lock.lock();
+    flights_.erase(key);
+    f->done = true;
+    if (error) {
+      f->error = error;
+      f->cv.notify_all();
+      std::rethrow_exception(error);
+    }
+    f->value = value;
+    f->has_value = true;
+    f->cv.notify_all();
+    insert_locked(key, value, cost(value));
+    return value;
+  }
+
+  /// Non-loading lookup: true and refresh recency on a hit.
+  bool get(std::uint64_t key, V& out) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    out = it->second->value;
+    return true;
+  }
+
+  /// Insert/overwrite without the single-flight machinery.
+  void put(std::uint64_t key, V value, std::uint64_t cost_bytes) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    insert_locked(key, std::move(value), cost_bytes);
+  }
+
+  /// Drop everything (the daemon's {"op":"flush"}); stats counters survive.
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+    lru_.clear();
+    stats_.bytes = 0;
+    stats_.entries = 0;
+  }
+
+  CacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats s = stats_;
+    s.entries = lru_.size();
+    s.capacity_bytes = capacity_;
+    return s;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t cost = 0;
+    V value{};
+  };
+  using List = std::list<Entry>;
+
+  struct Flight {
+    std::condition_variable cv;
+    bool done = false;
+    bool has_value = false;
+    V value{};
+    std::exception_ptr error;
+  };
+
+  void insert_locked(std::uint64_t key, V value, std::uint64_t cost_bytes) {
+    if (auto it = map_.find(key); it != map_.end()) {
+      stats_.bytes -= it->second->cost;
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    if (cost_bytes > capacity_) {
+      ++stats_.uncacheable;
+      return;
+    }
+    while (stats_.bytes + cost_bytes > capacity_ && !lru_.empty()) {
+      const Entry& victim = lru_.back();
+      stats_.bytes -= victim.cost;
+      ++stats_.evictions;
+      map_.erase(victim.key);
+      lru_.pop_back();
+    }
+    lru_.push_front(Entry{key, cost_bytes, std::move(value)});
+    map_[key] = lru_.begin();
+    stats_.bytes += cost_bytes;
+    stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes);
+  }
+
+  mutable std::mutex mutex_;
+  std::uint64_t capacity_;
+  List lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, typename List::iterator> map_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+  CacheStats stats_;
+};
+
+}  // namespace tir::svc

@@ -1,0 +1,86 @@
+#include "svc/client.hpp"
+
+namespace tir::svc {
+
+Client::Client(const std::string& endpoint) : conn_(dial(endpoint)) {}
+
+JobResult Client::submit(const JobRequest& request) {
+  JobResult result;
+  if (!conn_.write_line(render_request(request))) {
+    result.failed = true;
+    result.error = "connection closed before the request was sent";
+    result.error_code = "generic";
+    return result;
+  }
+  std::string line;
+  while (conn_.read_line(line)) {
+    if (line.empty()) continue;
+    Json response = Json::parse(line);
+    const std::string type = response.str_or("type", "");
+    // "accepted" and "started" may arrive in either order (the admission ack
+    // and the worker stream race on the shared socket); key on type, not
+    // position.
+    if (type == "rejected") {
+      result.rejected = true;
+      result.retry_after_ms = static_cast<int>(response.num_or("retry_after_ms", 0));
+      return result;
+    }
+    // Any job-stamped line may be the first one seen ("accepted" can lose
+    // the race to the worker's whole stream on a fast job).
+    if (!response.get("job").is_null()) {
+      result.id = static_cast<std::uint64_t>(response.num_or("job", 0));
+    }
+    if (type == "accepted") {
+      result.accepted = true;
+    } else if (type == "started") {
+      result.started = std::move(response);
+    } else if (type == "scenario") {
+      result.scenarios.push_back(std::move(response));
+    } else if (type == "done") {
+      result.epilogue = std::move(response);
+      result.done = true;
+      return result;
+    } else if (type == "failed" || type == "error") {
+      result.failed = true;
+      result.error = response.str_or("error", "");
+      result.error_code = response.str_or("error_code", "generic");
+      return result;
+    }
+    // pong/stats/ok from a pipelined op: not ours, skip.
+  }
+  result.failed = true;
+  result.error = "connection closed mid-job";
+  result.error_code = "generic";
+  return result;
+}
+
+Json Client::roundtrip(const std::string& line, const std::string& expect_type) {
+  if (!conn_.write_line(line)) return Json();
+  std::string response_line;
+  while (conn_.read_line(response_line)) {
+    if (response_line.empty()) continue;
+    Json response = Json::parse(response_line);
+    const std::string type = response.str_or("type", "");
+    if (type == expect_type || type == "error") return response;
+  }
+  return Json();
+}
+
+bool Client::ping() {
+  const Json pong = roundtrip("{\"op\":\"ping\"}", "pong");
+  return pong.str_or("type", "") == "pong";
+}
+
+Json Client::stats() { return roundtrip("{\"op\":\"stats\"}", "stats"); }
+
+bool Client::flush() {
+  const Json ok = roundtrip("{\"op\":\"flush\"}", "ok");
+  return ok.str_or("type", "") == "ok";
+}
+
+bool Client::shutdown_server() {
+  const Json ok = roundtrip("{\"op\":\"shutdown\"}", "ok");
+  return ok.str_or("type", "") == "ok";
+}
+
+}  // namespace tir::svc

@@ -1,0 +1,70 @@
+// Client side of the tird protocol, shared by tir-submit, tird-bench and the
+// service tests: dial the daemon, submit one job at a time, collect the
+// streamed responses into a JobResult.
+//
+// A Client wraps one connection and is single-threaded: submit() blocks
+// until the job reaches a terminal response (rejected / done / failed).
+// Load generators wanting concurrency open one Client per in-flight job
+// (that is also what exercises the daemon's admission control honestly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/net.hpp"
+#include "svc/protocol.hpp"
+
+namespace tir::svc {
+
+/// Everything one job's response stream said.
+struct JobResult {
+  std::uint64_t id = 0;
+  bool accepted = false;
+  bool rejected = false;  ///< backpressure: retry after retry_after_ms
+  int retry_after_ms = 0;
+  bool done = false;    ///< full scenario stream received
+  bool failed = false;  ///< job-level failure (bad trace/platform/config)
+  std::string error;
+  std::string error_code;
+
+  Json started;                 ///< the "started" response (cache truth, timings)
+  std::vector<Json> scenarios;  ///< "scenario" responses in completion order
+  Json epilogue;                ///< the "done" response (phase timings, metrics)
+
+  bool trace_cache_hit() const { return started.str_or("trace_cache", "") == "hit"; }
+  double queue_wait_seconds() const { return epilogue.num_or("queue_wait_seconds", 0.0); }
+};
+
+class Client {
+ public:
+  /// Dial the daemon; throws tir::Error if it is not listening.
+  explicit Client(const std::string& endpoint);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Submit one predict job and block until its terminal response.
+  JobResult submit(const JobRequest& request);
+
+  /// Liveness probe; false when the daemon hung up instead of answering.
+  bool ping();
+
+  /// The daemon's {"type":"stats"} snapshot.
+  Json stats();
+
+  /// Drop the daemon's caches.
+  bool flush();
+
+  /// Ask the daemon to drain and exit (it acknowledges before stopping).
+  bool shutdown_server();
+
+ private:
+  /// Send one op line and read responses until `expect_type` (skipping any
+  /// stray lines); null Json on EOF.
+  Json roundtrip(const std::string& line, const std::string& expect_type);
+
+  LineConn conn_;
+};
+
+}  // namespace tir::svc

@@ -1,0 +1,98 @@
+// Minimal JSON value for the service protocol (docs/service.md).
+//
+// The daemon speaks newline-delimited JSON over a local socket; this is the
+// smallest dependency-free value type that round-trips it.  Numbers are
+// doubles printed with %.17g, which round-trips every finite double exactly
+// — that exactness is load-bearing: the service bench proves cached and cold
+// replays bit-identical by comparing numbers that crossed the wire.
+//
+// Intentionally not a general-purpose JSON library: no comments, no \u
+// escapes beyond what the protocol emits (non-ASCII bytes pass through
+// verbatim), objects preserve insertion order, duplicate keys keep the last.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace tir::svc {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double v) : type_(Type::Number), num_(v) {}
+  Json(int v) : type_(Type::Number), num_(v) {}
+  Json(std::int64_t v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+  // Covers std::size_t too (the same type as uint64_t on LP64 targets).
+  Json(std::uint64_t v) : type_(Type::Number), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  /// Parse one JSON document; trailing non-whitespace throws.  All errors
+  /// are tir::ParseError with the byte offset.
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_bool() const { return type_ == Type::Bool; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // --- arrays ---------------------------------------------------------------
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+  void push_back(Json v);
+
+  // --- objects --------------------------------------------------------------
+  /// Null reference if absent (never throws): `j.get("k").is_null()`.
+  const Json& get(std::string_view key) const;
+  bool has(std::string_view key) const { return !get(key).is_null(); }
+  void set(std::string key, Json value);
+
+  // Typed object lookups with defaults (the protocol is default-heavy).
+  double num_or(std::string_view key, double fallback) const;
+  std::string str_or(std::string_view key, std::string fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+
+  /// Serialize compactly (no whitespace) — one response per line.
+  std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;                              ///< Array
+  std::vector<std::pair<std::string, Json>> members_;    ///< Object, insertion order
+};
+
+/// Format a double as JSON with exact round-trip (%.17g, NaN/Inf -> null).
+std::string json_number(double v);
+
+}  // namespace tir::svc

@@ -1,0 +1,221 @@
+#include "svc/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/error.hpp"
+
+namespace tir::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+struct Parsed {
+  bool is_unix = false;
+  std::string path;   ///< unix
+  std::string host;   ///< tcp
+  int port = 0;       ///< tcp
+};
+
+Parsed parse_endpoint(const std::string& endpoint) {
+  Parsed p;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    p.is_unix = true;
+    p.path = endpoint.substr(5);
+    if (p.path.empty()) throw ConfigError("empty unix socket path in '" + endpoint + "'");
+    if (p.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw ConfigError("unix socket path too long: " + p.path);
+    }
+    return p;
+  }
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    const std::string rest = endpoint.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      throw ConfigError("tcp endpoint needs HOST:PORT, got '" + endpoint + "'");
+    }
+    p.host = rest.substr(0, colon);
+    p.port = std::atoi(rest.c_str() + colon + 1);
+    if (p.host.empty() || p.port < 0 || p.port > 65535) {
+      throw ConfigError("bad tcp endpoint '" + endpoint + "'");
+    }
+    return p;
+  }
+  throw ConfigError("endpoint must start with unix: or tcp: — got '" + endpoint + "'");
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_tcp_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw ConfigError("tcp host must be a dotted IPv4 address, got '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+LineConn& LineConn::operator=(LineConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool LineConn::read_line(std::string& out, std::size_t max_line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (buffer_.size() > max_line) throw Error("line exceeds " + std::to_string(max_line) + " bytes");
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) {
+      if (!buffer_.empty()) {  // final unterminated line
+        out = std::move(buffer_);
+        buffer_.clear();
+        return true;
+      }
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool LineConn::write_line(const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Listener::Listener(const std::string& endpoint) {
+  const Parsed p = parse_endpoint(endpoint);
+  if (p.is_unix) {
+    ::unlink(p.path.c_str());
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) fail("socket(unix)");
+    const sockaddr_un addr = make_unix_addr(p.path);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+      fail("bind " + p.path);
+    }
+    unlink_path_ = p.path;
+    endpoint_ = "unix:" + p.path;
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) fail("socket(tcp)");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = make_tcp_addr(p.host, p.port);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+      fail("bind " + endpoint);
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) fail("getsockname");
+    char host[INET_ADDRSTRLEN] = {};
+    inet_ntop(AF_INET, &addr.sin_addr, host, sizeof host);
+    endpoint_ = "tcp:" + std::string(host) + ":" + std::to_string(ntohs(addr.sin_port));
+  }
+  if (::listen(fd_, 64) < 0) fail("listen " + endpoint_);
+}
+
+LineConn Listener::accept() {
+  for (;;) {
+    const int listen_fd = fd_.load();
+    if (listen_fd < 0) return LineConn();  // closed by the shutdown thread
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return LineConn(fd);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after close() from the shutdown thread: orderly stop.
+    return LineConn();
+  }
+}
+
+void Listener::close() {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() first so a concurrent accept() in another thread unblocks
+    // even on platforms where close() alone leaves it sleeping.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+}
+
+LineConn dial(const std::string& endpoint) {
+  const Parsed p = parse_endpoint(endpoint);
+  int fd = -1;
+  if (p.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(unix)");
+    const sockaddr_un addr = make_unix_addr(p.path);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail("connect " + endpoint);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(tcp)");
+    const sockaddr_in addr = make_tcp_addr(p.host, p.port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail("connect " + endpoint);
+    }
+  }
+  return LineConn(fd);
+}
+
+}  // namespace tir::svc

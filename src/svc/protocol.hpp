@@ -1,0 +1,78 @@
+// The tird wire protocol: newline-delimited JSON requests and responses.
+//
+// One request per line; the daemon answers each request with one or more
+// response lines, every one tagged with the request's job id so clients may
+// pipeline.  docs/service.md is the normative spec; this header is the typed
+// mirror both the server and the clients (tir-submit, tird-bench) share, so
+// a field added here is added everywhere at once.
+//
+// Requests:
+//   {"op":"predict", "trace":..., "platform":..., "scenarios":[...], ...}
+//   {"op":"ping"}         liveness probe
+//   {"op":"stats"}        queue/cache/worker counters
+//   {"op":"flush"}        drop every cache entry (benchmarks, tests)
+//   {"op":"shutdown"}     drain admitted jobs, then exit
+//
+// Responses (type field):
+//   rejected   admission queue full — carries retry_after_ms
+//   accepted   job admitted — carries queue_depth
+//   started    a worker picked the job up — carries cache hit/miss truth
+//   scenario   one ScenarioOutcome, streamed as it completes
+//   done       job epilogue — phase timings, optional metrics reports
+//   failed     job died before any scenario ran (bad trace/platform/config)
+//   pong/stats/ok/error  op plumbing
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/sweep.hpp"
+#include "svc/json.hpp"
+
+namespace tir::svc {
+
+/// One scenario cell of a job, before platform/rate resolution.
+struct ScenarioSpec {
+  std::string label;
+  core::Backend backend = core::Backend::Smpi;
+  std::vector<double> rates;  ///< empty = use the job's calibrated rate
+  bool contention = false;    ///< MaxMin link sharing instead of Uncontended
+  double watchdog_seconds = 0.0;
+};
+
+struct JobRequest {
+  std::string op;        ///< "predict" | "ping" | "stats" | "flush" | "shutdown"
+  std::uint64_t id = 0;  ///< assigned by the server at admission
+  std::string trace;     ///< manifest or TITB path
+  int nprocs = -1;       ///< single-file text manifests need it
+  std::string platform;  ///< platform file; empty = default flat gigabit cluster
+  std::vector<ScenarioSpec> scenarios;
+  bool metrics = false;  ///< attach TimelineSinks, stream obs metrics JSON
+  /// Optional declarative calibration; scenarios without explicit rates use
+  /// its result, and the daemon caches it by (platform, request) key.
+  bool calibrate = false;
+  core::CalibrationRequest calibration;
+};
+
+/// Parse one request line.  Throws tir::ParseError/ConfigError on malformed
+/// JSON, unknown ops, or missing required fields.
+JobRequest parse_request(const std::string& line);
+
+/// Serialize a predict request (the clients' send path).
+std::string render_request(const JobRequest& request);
+
+// --- response builders (server side) ----------------------------------------
+
+Json make_rejected(std::uint64_t job, int retry_after_ms, std::size_t queue_depth,
+                   std::size_t queue_capacity);
+Json make_accepted(std::uint64_t job, std::size_t queue_depth, std::size_t queue_capacity);
+Json make_failed(std::uint64_t job, const std::string& error, ErrorCode code);
+Json make_scenario(std::uint64_t job, std::size_t index, const core::ScenarioOutcome& outcome);
+
+/// Round-trip a ScenarioOutcome from its wire form (the bench's bit-identity
+/// check reads these back).  Unknown fields are ignored.
+core::ScenarioOutcome parse_scenario(const Json& response);
+
+}  // namespace tir::svc

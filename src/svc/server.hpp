@@ -1,0 +1,153 @@
+// The tird daemon core: accept connections, admit prediction jobs through a
+// bounded queue, run them on a worker pool over shared caches, stream results.
+//
+// Lifecycle (examples/tird.cpp is the thin CLI around this):
+//
+//   Server server(options);
+//   server.start();        // bind + listen + spawn accept/worker threads
+//   ...                    // serve until shutdown() — from a signal-watcher
+//                          // thread (SIGTERM) or the {"op":"shutdown"} op
+//   server.wait();         // drain admitted jobs, join every thread
+//
+// Shutdown is a *drain*: the listener closes and the queue stops admitting
+// immediately, but every job already admitted runs to completion and its
+// client receives the full response stream before the connection threads are
+// released.  Nothing admitted is ever dropped (tested in
+// tests/svc/server_test.cpp).
+//
+// Caching: three content-keyed LRU caches (svc/cache.hpp) share the job hot
+// path — decoded traces (keyed by titio content hash), parsed platforms
+// (keyed by file bytes), calibrated rates (keyed by platform key +
+// core::calibration_cache_key).  cache_bytes = 0 disables retention, which
+// is how tird-bench measures the cold path of the very same binary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "svc/cache.hpp"
+#include "svc/net.hpp"
+#include "svc/protocol.hpp"
+#include "svc/queue.hpp"
+#include "titio/shared.hpp"
+
+namespace tir::svc {
+
+struct ServerOptions {
+  std::string endpoint = "unix:/tmp/tird.sock";
+  int workers = 0;                          ///< <= 0: hardware concurrency
+  std::size_t queue_capacity = 64;          ///< admission queue depth
+  std::uint64_t cache_bytes = 256ull << 20; ///< trace-cache budget; 0 = no retention
+  int retry_after_ms = 50;                  ///< backoff hint in reject responses
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the endpoint and spawn the accept thread plus the worker pool.
+  void start();
+
+  /// The resolved listen endpoint (a tcp:HOST:0 request reports the
+  /// kernel-assigned port).  Valid after start().
+  const std::string& endpoint() const { return listener_->endpoint(); }
+
+  /// Begin the drain: stop accepting, stop admitting, wake everything.
+  /// Idempotent and callable from any thread (signal watcher, connection
+  /// thread handling {"op":"shutdown"}, tests).
+  void shutdown();
+
+  /// Block until shutdown() was called, then drain the queue and join every
+  /// thread.  Call from the owning thread (the daemon's main), never from a
+  /// server-spawned thread.
+  void wait();
+
+  bool stopping() const { return stopping_.load(); }
+
+  CacheStats trace_cache_stats() const { return traces_.stats(); }
+
+ private:
+  /// One accepted connection: its socket plus the write lock that keeps
+  /// worker-streamed results and connection-thread acks from interleaving
+  /// mid-line.
+  struct Client {
+    explicit Client(LineConn c) : conn(std::move(c)) {}
+    LineConn conn;
+    std::mutex write_mutex;
+
+    /// Serialize and write one response line; false once the peer is gone.
+    /// Never throws — a worker streaming results to a vanished client must
+    /// not die with it.
+    bool send(const Json& response) {
+      const std::lock_guard<std::mutex> lock(write_mutex);
+      if (!conn.valid()) return false;
+      try {
+        return conn.write_line(response.dump());
+      } catch (...) {
+        return false;
+      }
+    }
+  };
+
+  struct Job {
+    JobRequest request;
+    std::shared_ptr<Client> client;
+    std::chrono::steady_clock::time_point admitted{};
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(std::shared_ptr<Client> client);
+  void handle_line(const std::shared_ptr<Client>& client, const std::string& line);
+  void run_job(Job& job);
+  Json stats_json() const;
+
+  ServerOptions options_;
+  std::unique_ptr<Listener> listener_;
+  BoundedQueue<Job> queue_;
+
+  // Content-keyed caches (values are cheap-copy handles; see cache.hpp).
+  LruCache<std::shared_ptr<const titio::SharedTrace>> traces_;
+  LruCache<std::shared_ptr<const platform::Platform>> platforms_;
+  LruCache<double> calibrations_;
+  /// Text manifests cannot be content-hashed without decoding, so the first
+  /// load memoizes path -> content hash here (flush clears it; TITB files
+  /// are re-fingerprinted from their frame CRCs on every request instead).
+  std::unordered_map<std::string, std::uint64_t> text_keys_;
+  mutable std::mutex text_keys_mutex_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::vector<std::thread> conn_threads_;
+  std::mutex threads_mutex_;
+  std::vector<std::shared_ptr<Client>> clients_;
+  std::mutex clients_mutex_;
+
+  int worker_count_ = 0;  ///< fixed at start(); stats-safe while draining
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<std::uint64_t> jobs_admitted_{0};
+  std::atomic<std::uint64_t> jobs_rejected_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> scenarios_ok_{0};
+  std::atomic<std::uint64_t> scenarios_failed_{0};
+};
+
+}  // namespace tir::svc

@@ -314,6 +314,54 @@ bool Reader::next(int rank, tit::Action& out) {
   }
 }
 
+std::uint64_t Reader::content_hash() {
+  // Domain-tagged so a TITB fingerprint can never collide with the
+  // decoded-action fingerprint of a text trace (titio::hash_actions).
+  std::uint64_t h = binio::mix64(binio::kHashSeed, kMagic);
+  h = binio::mix64(h, static_cast<std::uint64_t>(nprocs_));
+  h = binio::mix64(h, total_actions_);
+  std::array<std::uint8_t, kMaxFramePreamble> preamble{};
+  for (const FrameRef& frame : frames_) {
+    h = binio::mix64(h, frame.rank);
+    h = binio::mix64(h, frame.actions);
+    // The stored CRC sits right after the payload; find it by re-parsing the
+    // preamble length.  An unparseable preamble (possible under
+    // ReaderOptions::recover, whose loads skip such frames) is folded in as
+    // its index entry instead — deterministic either way.
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(frame.offset));
+    const std::size_t want = std::min<std::size_t>(
+        preamble.size(), static_cast<std::size_t>(file_size_ - frame.offset));
+    in_.read(reinterpret_cast<char*>(preamble.data()), static_cast<std::streamsize>(want));
+    std::uint32_t crc = 0;
+    bool have_crc = false;
+    if (in_.gcount() == static_cast<std::streamsize>(want) && want > 0 &&
+        preamble[0] == kActionFrame) {
+      try {
+        std::size_t pos = 1;
+        binio::get_varint(preamble.data(), want, pos);  // rank
+        binio::get_varint(preamble.data(), want, pos);  // action count
+        binio::get_varint(preamble.data(), want, pos);  // payload size
+        const std::uint64_t crc_at = frame.offset + pos + frame.payload_bytes;
+        if (crc_at + 4 <= file_size_) {
+          std::array<std::uint8_t, 4> raw{};
+          in_.clear();
+          in_.seekg(static_cast<std::streamoff>(crc_at));
+          in_.read(reinterpret_cast<char*>(raw.data()), 4);
+          if (in_.gcount() == 4) {
+            crc = get_u32(raw.data());
+            have_crc = true;
+          }
+        }
+      } catch (const Error&) {
+        // fall through to the index-entry fold below
+      }
+    }
+    h = binio::mix64(h, have_crc ? crc : binio::mix64(frame.offset, frame.payload_bytes));
+  }
+  return h;
+}
+
 void Reader::verify() {
   std::vector<std::uint8_t> payload;
   for (const FrameRef& frame : frames_) {

@@ -67,6 +67,14 @@ class Reader final : public ActionSource {
   /// Throws on the first corrupt frame.
   void verify();
 
+  /// Content fingerprint of the trace as stored: the header fields plus every
+  /// frame's (rank, action count, stored CRC-32) folded through binio::mix64
+  /// in file order.  Reuses the CRCs the writer already paid for, so the hash
+  /// reads ~4 bytes per frame instead of re-hashing the payloads.  Stable
+  /// across processes — it is the service cache key for TITB traces
+  /// (docs/service.md).  Independent of the streaming cursors.
+  std::uint64_t content_hash();
+
  private:
   struct Cursor {
     std::vector<std::uint8_t> payload;     ///< current frame, being decoded

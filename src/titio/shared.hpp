@@ -28,6 +28,12 @@
 
 namespace tir::titio {
 
+/// Content fingerprint of a decoded trace: every action of every rank folded
+/// through binio::mix64 in rank order.  Deterministic across processes; the
+/// cache key for text/in-memory traces (binary files use the cheaper
+/// Reader::content_hash over their stored frame CRCs).
+std::uint64_t hash_actions(const tit::Trace& trace);
+
 class SharedTrace {
  public:
   /// Cursor-only view: per-rank indices into the shared immutable trace.
@@ -64,7 +70,8 @@ class SharedTrace {
 
   /// Adopt an in-memory trace (moved in; no further copies are made).
   explicit SharedTrace(tit::Trace trace)
-      : trace_(std::make_shared<const tit::Trace>(std::move(trace))) {}
+      : trace_(std::make_shared<const tit::Trace>(std::move(trace))),
+        content_hash_(hash_actions(*trace_)) {}
 
   /// Share an already-shared trace (no copy at all).
   explicit SharedTrace(std::shared_ptr<const tit::Trace> trace);
@@ -84,6 +91,13 @@ class SharedTrace {
   /// files and in-memory traces).
   std::uint64_t skipped_actions() const { return load_skipped_; }
 
+  /// Content fingerprint of the loaded trace (the prediction service's cache
+  /// key).  TITB loads reuse the file's stored frame CRCs
+  /// (Reader::content_hash); text and in-memory traces hash the decoded
+  /// actions (hash_actions).  The two domains never collide, so a binary and
+  /// a text encoding of the same logical trace are distinct cache entries.
+  std::uint64_t content_hash() const { return content_hash_; }
+
   const tit::Trace& trace() const { return *trace_; }
   const std::shared_ptr<const tit::Trace>& share() const { return trace_; }
 
@@ -91,11 +105,12 @@ class SharedTrace {
   Cursor cursor() const { return Cursor(trace_, load_skipped_); }
 
  private:
-  SharedTrace(std::shared_ptr<const tit::Trace> trace, std::uint64_t skipped)
-      : trace_(std::move(trace)), load_skipped_(skipped) {}
+  SharedTrace(std::shared_ptr<const tit::Trace> trace, std::uint64_t skipped, std::uint64_t hash)
+      : trace_(std::move(trace)), load_skipped_(skipped), content_hash_(hash) {}
 
   std::shared_ptr<const tit::Trace> trace_;
   std::uint64_t load_skipped_ = 0;
+  std::uint64_t content_hash_ = 0;
 };
 
 }  // namespace tir::titio

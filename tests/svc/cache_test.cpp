@@ -1,0 +1,169 @@
+// LruCache: eviction order, byte budget, single-flight loading, and the
+// concurrent hit/miss races the service hot path depends on (run under tsan
+// in CI).
+#include "svc/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using tir::svc::CacheStats;
+using tir::svc::LruCache;
+
+std::uint64_t unit_cost(const int&) { return 1; }
+
+TEST(SvcCache, HitAfterLoadAndStatsAccounting) {
+  LruCache<int> cache(10);
+  int loads = 0;
+  const auto loader = [&] {
+    ++loads;
+    return 42;
+  };
+  EXPECT_EQ(cache.get_or_load(1, loader, unit_cost), 42);
+  EXPECT_EQ(cache.get_or_load(1, loader, unit_cost), 42);
+  EXPECT_EQ(loads, 1);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 1u);
+}
+
+TEST(SvcCache, EvictsLeastRecentlyUsedWithinByteBudget) {
+  LruCache<int> cache(3);
+  cache.put(1, 10, 1);
+  cache.put(2, 20, 1);
+  cache.put(3, 30, 1);
+  int out = 0;
+  ASSERT_TRUE(cache.get(1, out));  // refresh 1: LRU order is now 2, 3, 1
+  cache.put(4, 40, 1);             // evicts 2
+  EXPECT_FALSE(cache.get(2, out));
+  EXPECT_TRUE(cache.get(1, out));
+  EXPECT_TRUE(cache.get(3, out));
+  EXPECT_TRUE(cache.get(4, out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SvcCache, EvictsAsManyAsTheBudgetNeeds) {
+  LruCache<int> cache(4);
+  cache.put(1, 10, 1);
+  cache.put(2, 20, 1);
+  cache.put(3, 30, 2);
+  cache.put(4, 40, 4);  // needs the whole budget: evicts everything else
+  int out = 0;
+  EXPECT_FALSE(cache.get(1, out));
+  EXPECT_FALSE(cache.get(2, out));
+  EXPECT_FALSE(cache.get(3, out));
+  EXPECT_TRUE(cache.get(4, out));
+  EXPECT_EQ(cache.stats().bytes, 4u);
+}
+
+TEST(SvcCache, OversizedEntryIsReturnedButNotRetained) {
+  LruCache<int> cache(4);
+  cache.put(1, 10, 1);
+  EXPECT_EQ(cache.get_or_load(2, [] { return 99; },
+                              [](const int&) -> std::uint64_t { return 5; }),
+            99);
+  int out = 0;
+  EXPECT_FALSE(cache.get(2, out));  // larger than the whole budget
+  EXPECT_TRUE(cache.get(1, out));   // and nothing else was evicted for it
+  EXPECT_EQ(cache.stats().uncacheable, 1u);
+}
+
+TEST(SvcCache, ZeroBudgetDisablesRetention) {
+  LruCache<int> cache(0);
+  int loads = 0;
+  const auto loader = [&] { return ++loads; };
+  EXPECT_EQ(cache.get_or_load(1, loader, unit_cost), 1);
+  EXPECT_EQ(cache.get_or_load(1, loader, unit_cost), 2);  // loaded again
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(SvcCache, ClearDropsEntriesButKeepsCounters) {
+  LruCache<int> cache(10);
+  cache.get_or_load(1, [] { return 1; }, unit_cost);
+  cache.get_or_load(1, [] { return 1; }, unit_cost);
+  cache.clear();
+  int out = 0;
+  EXPECT_FALSE(cache.get(1, out));
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);  // survived the clear
+}
+
+TEST(SvcCache, LoaderFailureCachesNothingAndRethrows) {
+  LruCache<int> cache(10);
+  EXPECT_THROW(
+      cache.get_or_load(1, []() -> int { throw std::runtime_error("boom"); }, unit_cost),
+      std::runtime_error);
+  int loads = 0;
+  EXPECT_EQ(cache.get_or_load(1,
+                              [&] {
+                                ++loads;
+                                return 7;
+                              },
+                              unit_cost),
+            7);
+  EXPECT_EQ(loads, 1);  // the failed flight left no poisoned entry behind
+}
+
+TEST(SvcCache, SingleFlightUnderConcurrentMisses) {
+  LruCache<int> cache(10);
+  std::atomic<int> loads{0};
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const int v = cache.get_or_load((i % 5) + 1,
+                                        [&] {
+                                          ++loads;
+                                          std::this_thread::yield();
+                                          return 1000 + (i % 5) + 1;
+                                        },
+                                        unit_cost);
+        if (v != 1000 + (i % 5) + 1) ++wrong;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong, 0);
+  // With retention on, each of the 5 keys loads exactly once no matter how
+  // many threads raced the first miss.
+  EXPECT_EQ(loads, 5);
+}
+
+TEST(SvcCache, ConcurrentHitMissRacesUnderEviction) {
+  // Tiny budget forces constant eviction while every thread mixes hits,
+  // misses and clears: the interesting schedules for tsan.
+  LruCache<int> cache(4);
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &wrong, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>((t + i) % 10);
+        const int v = cache.get_or_load(
+            key, [&] { return static_cast<int>(key) * 3; },
+            [](const int&) -> std::uint64_t { return 1; });
+        if (v != static_cast<int>(key) * 3) ++wrong;
+        if (i % 64 == 0) cache.clear();
+        int out = 0;
+        cache.get(key, out);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong, 0);
+  const CacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes, 4u);
+  EXPECT_LE(stats.entries, 4u);
+}
+
+}  // namespace

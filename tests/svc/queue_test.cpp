@@ -1,0 +1,99 @@
+// BoundedQueue: admission control and the SIGTERM drain contract — close()
+// stops admissions immediately but consumers drain everything already
+// admitted.
+#include "svc/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using tir::svc::BoundedQueue;
+
+TEST(SvcQueue, FullQueueRejects) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: explicit backpressure
+  int out = 0;
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);                // FIFO
+  EXPECT_TRUE(queue.try_push(3));   // space again
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pushed(), 3u);
+}
+
+TEST(SvcQueue, ClosedQueueRejectsNewButDrainsOld) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3));  // no admissions after close
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));      // ...but everything admitted drains
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.pop(out));     // closed AND empty: consumers stop
+}
+
+TEST(SvcQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (queue.pop(out)) {
+      }
+      ++finished;
+    });
+  }
+  queue.close();  // all three must unblock and exit
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(finished, 3);
+}
+
+TEST(SvcQueue, DrainOnShutdownLosesNothingUnderConcurrency) {
+  // Producers push until rejected, consumers drain; after close() every
+  // admitted item must still be consumed exactly once.
+  BoundedQueue<int> queue(16);
+  std::mutex consumed_mutex;
+  std::multiset<int> consumed;
+  std::atomic<int> admitted{0};
+  std::atomic<bool> stop_producing{false};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 2; ++i) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (queue.pop(out)) {
+        const std::lock_guard<std::mutex> lock(consumed_mutex);
+        consumed.insert(out);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < 500 && !stop_producing.load(); ++i) {
+        if (queue.try_push(p * 1000 + i)) ++admitted;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.close();  // the drain: stops admissions, consumers finish the rest
+  stop_producing.store(true);
+  for (std::thread& t : producers) t.join();
+  for (std::thread& t : consumers) t.join();
+
+  EXPECT_EQ(consumed.size(), static_cast<std::size_t>(admitted.load()));
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_FALSE(queue.try_push(0));
+}
+
+}  // namespace

@@ -1,0 +1,273 @@
+// Server end-to-end over real sockets: ops, the cold->hit cache path with
+// bit-identical results, per-job failure isolation, queue backpressure, and
+// the drain-on-shutdown contract.  Also covers the obs::SweepAggregator
+// queue-wait plumbing the service feeds.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/error.hpp"
+#include "obs/sweep.hpp"
+#include "platform/clusters.hpp"
+#include "svc/client.hpp"
+#include "tit/trace.hpp"
+#include "titio/writer.hpp"
+
+namespace tir::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+tit::Trace two_rank_trace() {
+  return tit::parse_trace_string(
+      "p0 compute 1e9\n"
+      "p0 send p1 1024\n"
+      "p1 recv p0 1024\n"
+      "p1 compute 2e9\n",
+      2);
+}
+
+class SvcServer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "tird_test";
+    fs::create_directories(dir_);
+    trace_path_ = (dir_ / "t.titb").string();
+    titio::write_binary_trace(two_rank_trace(), trace_path_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string endpoint(const char* name) const {
+    return "unix:" + (dir_ / name).string();
+  }
+
+  JobRequest simple_job(double rate = 1e9) const {
+    JobRequest request;
+    request.op = "predict";
+    request.trace = trace_path_;
+    ScenarioSpec spec;
+    spec.label = "s";
+    spec.rates = {rate};
+    request.scenarios.push_back(spec);
+    return request;
+  }
+
+  /// A job whose service time is dominated by a deterministic calibration —
+  /// slow enough (hundreds of ms) to hold a worker while the test races
+  /// admissions against it.
+  JobRequest slow_job() const {
+    JobRequest request = simple_job();
+    request.scenarios[0].rates.clear();
+    request.calibrate = true;
+    request.calibration.procedure = "cache-aware";
+    request.calibration.iterations = 25;
+    request.calibration.truth = platform::bordereau_truth();
+    request.calibration.instance_class = 'A';
+    request.calibration.instance_nprocs = 2;
+    return request;
+  }
+
+  fs::path dir_;
+  std::string trace_path_;
+};
+
+TEST_F(SvcServer, PingStatsFlushOverUnixSocket) {
+  ServerOptions options;
+  options.endpoint = endpoint("ops.sock");
+  options.workers = 1;
+  Server server(options);
+  server.start();
+
+  Client client(server.endpoint());
+  EXPECT_TRUE(client.ping());
+  const Json stats = client.stats();
+  EXPECT_EQ(stats.str_or("type", ""), "stats");
+  EXPECT_EQ(stats.get("queue").num_or("capacity", 0), 64.0);
+  EXPECT_EQ(stats.get("workers").as_number(), 1.0);
+  EXPECT_TRUE(client.flush());
+}
+
+TEST_F(SvcServer, TcpPortZeroResolvesAndServes) {
+  ServerOptions options;
+  options.endpoint = "tcp:127.0.0.1:0";
+  options.workers = 1;
+  Server server(options);
+  server.start();
+  EXPECT_NE(server.endpoint(), "tcp:127.0.0.1:0");  // kernel-assigned port
+  Client client(server.endpoint());
+  EXPECT_TRUE(client.ping());
+}
+
+TEST_F(SvcServer, ColdThenCachedHitIsBitIdentical) {
+  ServerOptions options;
+  options.endpoint = endpoint("cache.sock");
+  options.workers = 1;
+  Server server(options);
+  server.start();
+
+  Client client(server.endpoint());
+  const JobResult cold = client.submit(simple_job());
+  ASSERT_TRUE(cold.done) << cold.error;
+  EXPECT_EQ(cold.started.str_or("trace_cache", ""), "miss");
+  ASSERT_EQ(cold.scenarios.size(), 1u);
+  EXPECT_TRUE(cold.scenarios[0].bool_or("ok", false));
+
+  const JobResult hit = client.submit(simple_job());
+  ASSERT_TRUE(hit.done) << hit.error;
+  EXPECT_EQ(hit.started.str_or("trace_cache", ""), "hit");
+  // The prediction crossed the wire as %.17g JSON both times; the cached
+  // path must reproduce the cold path bit for bit.
+  EXPECT_EQ(hit.scenarios[0].num_or("simulated_time", -1),
+            cold.scenarios[0].num_or("simulated_time", -2));
+  EXPECT_EQ(hit.scenarios[0].num_or("actions_replayed", -1),
+            cold.scenarios[0].num_or("actions_replayed", -2));
+
+  // flush drops the entry: the next job decodes again.
+  ASSERT_TRUE(client.flush());
+  const JobResult refetched = client.submit(simple_job());
+  ASSERT_TRUE(refetched.done);
+  EXPECT_EQ(refetched.started.str_or("trace_cache", ""), "miss");
+
+  const CacheStats stats = server.trace_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(SvcServer, JobFailuresAreIsolated) {
+  ServerOptions options;
+  options.endpoint = endpoint("fail.sock");
+  options.workers = 1;
+  Server server(options);
+  server.start();
+  Client client(server.endpoint());
+
+  // Job-level failure: nonexistent trace -> "failed", connection survives.
+  JobRequest missing = simple_job();
+  missing.trace = (dir_ / "nope.titb").string();
+  const JobResult failed = client.submit(missing);
+  EXPECT_TRUE(failed.failed);
+  EXPECT_FALSE(failed.error.empty());
+
+  // Scenario-level failure: a non-positive per-rank rate fails that
+  // scenario with config while its sibling succeeds.
+  JobRequest mixed = simple_job();
+  ScenarioSpec bad;
+  bad.label = "bad-rates";
+  bad.rates = {1e9, -2e9};
+  mixed.scenarios.push_back(bad);
+  const JobResult outcome = client.submit(mixed);
+  ASSERT_TRUE(outcome.done) << outcome.error;
+  ASSERT_EQ(outcome.scenarios.size(), 2u);
+  EXPECT_TRUE(outcome.scenarios[0].bool_or("ok", false));
+  EXPECT_FALSE(outcome.scenarios[1].bool_or("ok", true));
+  EXPECT_EQ(outcome.scenarios[1].str_or("error_code", ""),
+            error_code_name(ErrorCode::Config));
+
+  // And the daemon is still healthy.
+  EXPECT_TRUE(client.ping());
+}
+
+TEST_F(SvcServer, FullQueueRejectsWithRetryAfter) {
+  ServerOptions options;
+  options.endpoint = endpoint("bp.sock");
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.cache_bytes = 0;  // keep the slow job slow on every submission
+  options.retry_after_ms = 7;
+  Server server(options);
+  server.start();
+
+  // Occupy the single worker with a slow job, fill the depth-1 queue with a
+  // second, then watch the third bounce.  Raw connections: we must not
+  // block on the first job's completion before submitting the others.
+  LineConn first = dial(server.endpoint());
+  LineConn second = dial(server.endpoint());
+  LineConn third = dial(server.endpoint());
+
+  const auto read_admission = [](LineConn& conn) {
+    std::string line;
+    while (conn.read_line(line)) {
+      const Json response = Json::parse(line);
+      const std::string type = response.str_or("type", "");
+      if (type == "accepted" || type == "rejected") return response;
+    }
+    return Json();
+  };
+
+  ASSERT_TRUE(first.write_line(render_request(slow_job())));
+  const Json a1 = read_admission(first);
+  ASSERT_EQ(a1.str_or("type", ""), "accepted");
+  // Give the worker a moment to pop the first job off the queue.
+  for (int i = 0; i < 200 && Client(server.endpoint()).stats().get("queue").num_or(
+                                 "depth", 1) > 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ASSERT_TRUE(second.write_line(render_request(slow_job()))); // fills the queue
+  const Json a2 = read_admission(second);
+  ASSERT_EQ(a2.str_or("type", ""), "accepted");
+
+  ASSERT_TRUE(third.write_line(render_request(slow_job())));  // bounces
+  const Json a3 = read_admission(third);
+  ASSERT_EQ(a3.str_or("type", ""), "rejected");
+  EXPECT_EQ(a3.num_or("retry_after_ms", 0), 7.0);
+  EXPECT_EQ(a3.num_or("queue_capacity", 0), 1.0);
+}
+
+TEST_F(SvcServer, ShutdownDrainsAdmittedJobs) {
+  ServerOptions options;
+  options.endpoint = endpoint("drain.sock");
+  options.workers = 1;
+  options.cache_bytes = 0;
+  Server server(options);
+  server.start();
+
+  // Submit a slow job, then ask for shutdown while it runs.  The admitted
+  // job must still stream its complete response.
+  LineConn conn = dial(server.endpoint());
+  ASSERT_TRUE(conn.write_line(render_request(slow_job())));
+
+  Client control(server.endpoint());
+  ASSERT_TRUE(control.shutdown_server());
+  server.wait();  // drain completes before wait() returns
+
+  bool done = false, ok = true;
+  std::string line;
+  while (conn.read_line(line)) {
+    const Json response = Json::parse(line);
+    const std::string type = response.str_or("type", "");
+    if (type == "scenario") ok = ok && response.bool_or("ok", false);
+    if (type == "done") done = true;
+    if (type == "failed") ok = false;
+  }
+  EXPECT_TRUE(done);  // nothing admitted is ever dropped
+  EXPECT_TRUE(ok);
+}
+
+TEST(SvcAggregator, JobTimingRollsUpQueueWait) {
+  obs::SweepAggregator aggregator;
+  aggregator.record(0, "a", obs::MetricsReport{}, {0.010, 0.100});
+  aggregator.record(1, "b", obs::MetricsReport{}, {0.030, 0.200});
+  aggregator.record(2, "c", obs::MetricsReport{});  // default: no timing
+  const obs::SweepAggregator::Summary summary = aggregator.summary();
+  EXPECT_EQ(summary.scenarios, 3u);
+  EXPECT_DOUBLE_EQ(summary.total_queue_wait, 0.040);
+  EXPECT_DOUBLE_EQ(summary.total_replay_wall, 0.300);
+  EXPECT_DOUBLE_EQ(summary.max_queue_wait, 0.030);
+  const std::vector<obs::SweepAggregator::Entry> entries = aggregator.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(entries[1].timing.queue_wait_seconds, 0.030);
+}
+
+}  // namespace
+}  // namespace tir::svc
