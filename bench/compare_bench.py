@@ -107,6 +107,18 @@ def check_gates(report):
                 "service overload: {submitted} submitted -> {completed} completed"
                 " + {rejected} rejected ({failed} failed)".format(**overload)
             )
+        chaos = service.get("chaos", {})
+        if chaos and not chaos.get("pass", True):
+            failures.append(
+                "service chaos: {schedules} schedules, {jobs} jobs ->"
+                " {completed} completed, {hung} hung,"
+                " identical={identical}".format(**chaos)
+            )
+        if chaos and chaos.get("hung", 0) != 0:
+            failures.append(
+                "service chaos: {hung} job(s) hung without a terminal"
+                " outcome".format(**chaos)
+            )
     return failures
 
 

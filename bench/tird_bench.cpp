@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "apps/run.hpp"
+#include "base/fault.hpp"
 #include "exp/experiments.hpp"
 #include "svc/client.hpp"
 #include "svc/server.hpp"
@@ -198,6 +199,96 @@ OverloadResult run_open_loop(const std::string& endpoint, const svc::JobRequest&
   return overload;
 }
 
+struct ChaosResult {
+  std::size_t schedules = 0;
+  std::size_t jobs = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t expired = 0;
+  std::size_t transport_failed = 0;
+  std::size_t failed = 0;  ///< server verdict "failed" for any other reason
+  std::size_t hung = 0;    ///< returned with no terminal classification
+  bool identical = true;   ///< every completed prediction == fault-free ref
+  bool pass = false;
+};
+
+/// Chaos phase: `schedules` seeded fault plans (src/base/fault.hpp), each
+/// run against a fresh live server with resilient clients.  The invariant
+/// mirrors tests/svc/chaos_test.cpp: every job terminates definitely and
+/// every completed prediction is bit-identical to the fault-free reference.
+ChaosResult run_chaos(const std::string& socket_dir, const svc::JobRequest& request,
+                      int schedules, const WireResult& reference) {
+  ChaosResult chaos;
+  chaos.schedules = static_cast<std::size_t>(schedules);
+  for (int s = 1; s <= schedules; ++s) {
+    const double p = 0.04 + 0.02 * (s % 5);
+    char spec[512];
+    std::snprintf(spec, sizeof spec,
+                  "seed=%d;svc.net.write=short:%.2f:16;svc.net.write=reset:%.2f:4"
+                  ";svc.net.read=reset:%.2f:4;svc.net.read=stall:%.2f:8"
+                  ";svc.net.read=eintr:%.2f:16;svc.net.accept=accept-fail:%.2f:8"
+                  ";svc.net.dial=reset:%.2f:2;svc.cache.load=alloc-fail:%.2f:4",
+                  s, 2 * p, p / 2, p, p, p, p, p / 2, p);
+    const fault::ScopedPlan plan(spec);
+
+    svc::ServerOptions options;
+    options.endpoint = "unix:" + socket_dir + "/chaos" + std::to_string(s) + ".sock";
+    options.workers = 2;
+    options.queue_capacity = 4;
+    options.retry_after_ms = 5;
+    svc::Server server(options);
+    server.start();
+
+    constexpr int kClients = 2;
+    constexpr int kJobsPerClient = 2;
+    std::vector<svc::JobResult> results(kClients * kJobsPerClient);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          svc::RetryPolicy policy;
+          policy.max_attempts = 6;
+          policy.base_ms = 2.0;
+          policy.max_backoff_ms = 50.0;
+          policy.deadline_seconds = 60.0;
+          policy.seed = static_cast<std::uint64_t>(s * 100 + c * 10 + j);
+          results[static_cast<std::size_t>(c * kJobsPerClient + j)] =
+              svc::submit_with_retry(server.endpoint(), request, policy);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    server.shutdown();
+    server.wait();
+
+    for (const svc::JobResult& r : results) {
+      ++chaos.jobs;
+      if (r.done) {
+        ++chaos.completed;
+        for (const svc::Json& line : r.scenarios) {
+          if (!line.bool_or("ok", false)) continue;  // cancelled mid-job
+          const WireResult wire{line.num_or("simulated_time", -1.0),
+                                line.num_or("actions_replayed", -1.0),
+                                line.num_or("engine_steps", -1.0)};
+          if (!(wire == reference)) chaos.identical = false;
+        }
+      } else if (r.rejected) {
+        ++chaos.rejected;
+      } else if (r.failed && r.expired) {
+        ++chaos.expired;
+      } else if (r.failed && r.transport) {
+        ++chaos.transport_failed;
+      } else if (r.failed) {
+        ++chaos.failed;
+      } else {
+        ++chaos.hung;  // no terminal classification at all
+      }
+    }
+  }
+  chaos.pass = chaos.hung == 0 && chaos.identical && chaos.completed > 0;
+  return chaos;
+}
+
 void print_load(const char* label, const LoadResult& load) {
   std::printf("  %-22s %6.1f jobs/s  p50 %7.2f ms  p99 %7.2f ms  "
               "queue-wait %6.2f ms  (%zu jobs, %zu retries)\n",
@@ -223,6 +314,7 @@ int main(int argc, char** argv) {
   int clients = 4;
   int jobs_per_client = 6;
   int workers = 0;
+  int chaos_schedules = 5;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -234,8 +326,11 @@ int main(int argc, char** argv) {
       jobs_per_client = std::atoi(argv[++i]);
     } else if (arg == "-workers" && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
+    } else if ((arg == "-chaos" || arg == "--chaos") && i + 1 < argc) {
+      chaos_schedules = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [-out FILE] [-clients N] [-jobs M] [-workers W]\n",
+      std::fprintf(stderr,
+                   "usage: %s [-out FILE] [-clients N] [-jobs M] [-workers W] [-chaos S]\n",
                    argv[0]);
       return 2;
     }
@@ -337,6 +432,11 @@ int main(int argc, char** argv) {
       overload.rejected > 0 && overload.failed == 0 &&
       overload.completed + overload.rejected == overload.submitted;
 
+  // --- chaos: seeded fault schedules against live servers --------------------
+  const WireResult reference = all.empty() ? WireResult{} : all.front();
+  const ChaosResult chaos =
+      run_chaos(dir.string(), request, chaos_schedules, reference);
+
   const bool speedup_pass = identical && speedup >= required_speedup;
   std::printf("\nCache speedup: %.2fx at 1 client (gate >= %.1fx), %.2fx at %d clients; "
               "results %s\n",
@@ -345,6 +445,12 @@ int main(int argc, char** argv) {
   std::printf("Overload: %zu submitted -> %zu completed + %zu rejected (%zu failed)  %s\n",
               overload.submitted, overload.completed, overload.rejected, overload.failed,
               backpressure_ok ? "PASS" : "FAIL");
+  std::printf("Chaos: %zu schedules, %zu jobs -> %zu completed + %zu rejected + "
+              "%zu expired + %zu transport + %zu failed, %zu hung, results %s  %s\n",
+              chaos.schedules, chaos.jobs, chaos.completed, chaos.rejected, chaos.expired,
+              chaos.transport_failed, chaos.failed, chaos.hung,
+              chaos.identical ? "bit-identical" : "MISMATCH",
+              chaos.pass ? "PASS" : "FAIL");
 
   // --- report ----------------------------------------------------------------
   std::ofstream out(out_path);
@@ -364,12 +470,19 @@ int main(int argc, char** argv) {
   out << "    \"overload\": {\"submitted\": " << overload.submitted
       << ", \"completed\": " << overload.completed << ", \"rejected\": " << overload.rejected
       << ", \"failed\": " << overload.failed
-      << ", \"pass\": " << (backpressure_ok ? "true" : "false") << "}\n";
+      << ", \"pass\": " << (backpressure_ok ? "true" : "false") << "},\n";
+  out << "    \"chaos\": {\"schedules\": " << chaos.schedules << ", \"jobs\": " << chaos.jobs
+      << ", \"completed\": " << chaos.completed << ", \"rejected\": " << chaos.rejected
+      << ", \"expired\": " << chaos.expired
+      << ", \"transport_failed\": " << chaos.transport_failed
+      << ", \"failed\": " << chaos.failed << ", \"hung\": " << chaos.hung
+      << ", \"identical\": " << (chaos.identical ? "true" : "false")
+      << ", \"pass\": " << (chaos.pass ? "true" : "false") << "}\n";
   out << "  }\n}\n";
   if (!out) std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
   out.close();
   std::printf("\nreport: %s\n", out_path.c_str());
 
   fs::remove_all(dir);
-  return (speedup_pass && backpressure_ok) ? 0 : 1;
+  return (speedup_pass && backpressure_ok && chaos.pass) ? 0 : 1;
 }

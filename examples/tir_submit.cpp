@@ -9,7 +9,10 @@
 //
 // Exit status mirrors replay_cli's scripted-client contract: 0 success,
 // 2 usage, 3 rejected (backpressure — retry after the printed hint),
-// 10+code on a failed job or scenario.
+// 11 transport failure (could not reach the daemon / connection died before
+// a server verdict; note 11 also happens to be 10+parse-error for job
+// failures — scripts needing the distinction read stderr), 10+code on a
+// failed job or scenario.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,20 +31,31 @@ void usage(const char* argv0) {
                "          [-rate R[,R...]] [-backend smpi|msg] [-contention]\n"
                "          [-watchdog SECONDS] [-metrics]\n"
                "          [-calibrate classic|cache-aware|auto] [-truth bordereau|graphene]\n"
-               "          [-class A-H] [-json] TRACE\n"
+               "          [-class A-H] [-retries N] [-deadline SECONDS] [-seed S]\n"
+               "          [-json] [-v] TRACE\n"
                "       %s -connect ENDPOINT -ping|-stats|-flush|-shutdown\n"
                "\n"
                "Each -rate becomes one scenario; with -calibrate and no -rate the\n"
                "daemon's calibrated rate is used (and cached server-side).  -json\n"
                "echoes the raw response lines instead of the human summary.\n"
                "\n"
+               "Resilience: -retries N (default 5) retries rejected/transport-failed\n"
+               "submits with seeded decorrelated-jitter backoff (-seed, default 1),\n"
+               "honoring the daemon's retry_after_ms hint; -deadline bounds the whole\n"
+               "submit and is enforced server-side between scenarios; retried jobs\n"
+               "carry an idempotency key so a completed job is answered from the\n"
+               "daemon's result cache bit-identically.  -v prints the retry schedule\n"
+               "actually used.\n"
+               "\n"
                "Exit status: 0 success, 2 usage, 3 rejected (queue full; retry after\n"
-               "the printed retry_after_ms), 10+code on failure (see replay_cli).\n",
+               "the printed retry_after_ms), 11 transport failure (daemon unreachable\n"
+               "or connection died before a verdict), 10+code on failure (see\n"
+               "replay_cli; 10+9=19 cancelled = deadline expired).\n",
                argv0, argv0);
 }
 
 int exit_status(const std::string& code_name) {
-  for (int c = 0; c <= static_cast<int>(tir::ErrorCode::Internal); ++c) {
+  for (int c = 0; c <= static_cast<int>(tir::kLastErrorCode); ++c) {
     if (code_name == tir::error_code_name(static_cast<tir::ErrorCode>(c))) return 10 + c;
   }
   return 10;
@@ -54,6 +68,8 @@ int main(int argc, char** argv) {
   std::string endpoint;
   std::string op;
   bool json_output = false;
+  bool verbose = false;
+  svc::RetryPolicy policy;
   svc::JobRequest request;
   request.op = "predict";
   std::vector<double> rates;
@@ -99,8 +115,16 @@ int main(int argc, char** argv) {
                                                       : platform::graphene_truth();
     } else if (arg == "-class" && i + 1 < argc) {
       request.calibration.instance_class = argv[++i][0];
+    } else if (arg == "-retries" && i + 1 < argc) {
+      policy.max_attempts = std::atoi(argv[++i]);
+    } else if (arg == "-deadline" && i + 1 < argc) {
+      policy.deadline_seconds = std::atof(argv[++i]);
+    } else if (arg == "-seed" && i + 1 < argc) {
+      policy.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (arg == "-json") {
       json_output = true;
+    } else if (arg == "-v") {
+      verbose = true;
     } else if (arg[0] != '-') {
       request.trace = arg;
     } else {
@@ -114,9 +138,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    svc::Client client(endpoint);
-
     if (!op.empty()) {
+      svc::Client client(endpoint);
       if (op == "ping") {
         const bool alive = client.ping();
         std::printf("%s\n", alive ? "pong" : "no answer");
@@ -148,7 +171,18 @@ int main(int argc, char** argv) {
       request.calibration.truth = platform::graphene_truth();
     }
 
-    const svc::JobResult result = client.submit(request);
+    std::vector<svc::RetryEvent> schedule;
+    const svc::JobResult result =
+        svc::submit_with_retry(endpoint, request, policy, nullptr, &schedule);
+
+    if (verbose) {
+      std::fprintf(stderr, "tir-submit: %d attempt%s\n", result.attempts,
+                   result.attempts == 1 ? "" : "s");
+      for (const svc::RetryEvent& event : schedule) {
+        std::fprintf(stderr, "tir-submit: attempt %d %s -> backoff %.1f ms\n", event.attempt,
+                     event.reason.c_str(), event.backoff_ms);
+      }
+    }
 
     if (json_output) {
       if (!result.started.is_null()) std::printf("%s\n", result.started.dump().c_str());
@@ -162,9 +196,11 @@ int main(int argc, char** argv) {
       return 3;
     }
     if (result.failed) {
-      std::fprintf(stderr, "tir-submit: [%s] %s\n", result.error_code.c_str(),
-                   result.error.c_str());
-      return exit_status(result.error_code);
+      std::fprintf(stderr, "tir-submit: %s[%s] %s\n", result.transport ? "transport: " : "",
+                   result.error_code.c_str(), result.error.c_str());
+      // Transport failures never got a server verdict: distinct exit code so
+      // scripts can retry the whole submit instead of blaming the job.
+      return result.transport ? 11 : exit_status(result.error_code);
     }
 
     int failures = 0;
@@ -195,7 +231,9 @@ int main(int argc, char** argv) {
     }
     return failures == 0 ? 0 : exit_status(first_code);
   } catch (const Error& e) {
-    std::fprintf(stderr, "tir-submit: [%s] %s\n", e.code_name(), e.what());
-    return 10 + static_cast<int>(e.code());
+    // Anything escaping here is transport-shaped (dial failure, endpoint
+    // config): the daemon never saw the job.
+    std::fprintf(stderr, "tir-submit: transport: [%s] %s\n", e.code_name(), e.what());
+    return 11;
   }
 }

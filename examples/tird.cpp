@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 #include "svc/server.hpp"
 
 namespace {
@@ -28,12 +29,22 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-listen ENDPOINT] [-workers N] [-queue N] [-cache-mb MB]\n"
-               "          [-retry-after-ms MS]\n"
+               "          [-retry-after-ms MS] [-read-timeout-ms MS] [-write-timeout-ms MS]\n"
+               "          [-fault-plan SPEC]\n"
                "\n"
                "ENDPOINT is unix:/path or tcp:HOST:PORT (port 0 = kernel-assigned;\n"
                "the resolved endpoint is printed on stdout).  Defaults: -listen\n"
                "unix:/tmp/tird.sock, -workers 0 (hardware concurrency), -queue 64,\n"
-               "-cache-mb 256 (0 disables caching), -retry-after-ms 50.\n"
+               "-cache-mb 256 (0 disables caching), -retry-after-ms 50,\n"
+               "-read-timeout-ms 30000 (mid-line stall cutoff; 0 = none),\n"
+               "-write-timeout-ms 10000 (stalled-reader cutoff; 0 = none).\n"
+               "\n"
+               "-fault-plan SPEC (or the TIR_FAULT_PLAN env var; the flag wins) arms\n"
+               "deterministic fault injection for chaos testing, e.g.\n"
+               "  seed=7;svc.net.write=short:0.2;svc.net.read=reset:0.05\n"
+               "Points: svc.net.read|write|accept|dial, svc.cache.load.  Kinds:\n"
+               "eintr, eagain, short, reset, accept-fail, stall, alloc-fail.  Each\n"
+               "rule is KIND:PROB[:MAX_FIRES] (max fires defaults to 64).\n"
                "\n"
                "SIGTERM/SIGINT or {\"op\":\"shutdown\"} drain admitted jobs, then exit.\n",
                argv0);
@@ -44,6 +55,8 @@ void usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace tir;
   svc::ServerOptions options;
+  std::string fault_plan;
+  if (const char* env = std::getenv("TIR_FAULT_PLAN")) fault_plan = env;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -57,11 +70,21 @@ int main(int argc, char** argv) {
       options.cache_bytes = static_cast<std::uint64_t>(std::atof(argv[++i]) * (1 << 20));
     } else if (arg == "-retry-after-ms" && i + 1 < argc) {
       options.retry_after_ms = std::atoi(argv[++i]);
+    } else if (arg == "-read-timeout-ms" && i + 1 < argc) {
+      options.read_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "-write-timeout-ms" && i + 1 < argc) {
+      options.write_timeout_ms = std::atoi(argv[++i]);
+    } else if ((arg == "-fault-plan" || arg == "--fault-plan") && i + 1 < argc) {
+      fault_plan = argv[++i];  // the flag wins over TIR_FAULT_PLAN
     } else {
       usage(argv[0]);
       return 2;
     }
   }
+
+  // MSG_NOSIGNAL covers socket sends, but belt and braces: a write to any
+  // broken pipe must surface as an error return, never kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
 
   // Block the shutdown signals in every thread (the server's workers inherit
   // this mask), then give them to a dedicated watcher thread via sigwait.
@@ -72,6 +95,10 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
   try {
+    if (!fault_plan.empty()) {
+      fault::arm(fault::FaultPlan::parse(fault_plan));  // ConfigError on bad specs
+      std::fprintf(stderr, "tird: fault plan armed: %s\n", fault_plan.c_str());
+    }
     svc::Server server(options);
     server.start();
     std::printf("tird: listening on %s\n", server.endpoint().c_str());

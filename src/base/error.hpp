@@ -32,7 +32,11 @@ enum class ErrorCode : std::uint8_t {
   Deadlock,        ///< replay wedged: blocked processes that can never run
   Watchdog,        ///< wall-clock limit exceeded; replay cancelled
   Internal,        ///< broken TiR invariant (a bug in TiR itself)
+  Cancelled,       ///< cooperative cancellation (deadline expiry, shutdown)
 };
+
+/// The last enumerator, for loops that map code <-> name exhaustively.
+inline constexpr ErrorCode kLastErrorCode = ErrorCode::Cancelled;
 
 inline const char* error_code_name(ErrorCode code) {
   switch (code) {
@@ -45,6 +49,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::Deadlock: return "deadlock";
     case ErrorCode::Watchdog: return "watchdog";
     case ErrorCode::Internal: return "internal-error";
+    case ErrorCode::Cancelled: return "cancelled";
   }
   return "?";
 }
@@ -140,6 +145,16 @@ class WatchdogError : public SimError {
  public:
   explicit WatchdogError(const std::string& what)
       : SimError(what, ErrorCode::Watchdog) {}
+};
+
+/// Cooperative cancellation observed: a per-job deadline expired or a drain
+/// asked in-flight work to stop between scenarios (core::CancelToken).  Not
+/// the input's fault — the same job resubmitted with a larger budget would
+/// succeed.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : Error("cancelled: " + what, ErrorCode::Cancelled) {}
 };
 
 /// Broken internal invariant. Indicates a bug in TiR itself.

@@ -62,7 +62,16 @@ std::vector<ScenarioOutcome> sweep(const titio::SharedTrace& trace,
   const auto drain = [&] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < scenarios.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
-      outcomes[i] = run_scenario(trace, scenarios[i]);
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        // Cooperative cancellation: the scenario never starts, but the sweep
+        // still returns a full vector with a definite per-cell outcome.
+        outcomes[i].label = scenarios[i].label;
+        outcomes[i].ok = false;
+        outcomes[i].error = "cancelled before start (deadline expired or sweep cancelled)";
+        outcomes[i].error_code = ErrorCode::Cancelled;
+      } else {
+        outcomes[i] = run_scenario(trace, scenarios[i]);
+      }
       if (options.on_scenario_done) options.on_scenario_done(i, outcomes[i]);
     }
   };

@@ -29,6 +29,8 @@
 // worker threads and must synchronize its own state.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -38,6 +40,40 @@
 #include "titio/shared.hpp"
 
 namespace tir::core {
+
+/// Cooperative cancellation for sweeps (and anything else that polls it).
+/// Two triggers, both observed between scenarios — a scenario that already
+/// started runs to completion (its watchdog bounds that):
+///
+///   * cancel() — an explicit request (server drain, client went away);
+///   * a steady_clock deadline — per-job deadline enforcement in tird.
+///
+/// Thread safety: cancel()/cancelled() may be called from any thread
+/// concurrently (atomic flag + immutable deadline after construction).
+/// The sweep borrows the token const; the owner keeps it alive for the call.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// Token that trips when `deadline` passes (and on cancel(), as always).
+  explicit CancelToken(std::chrono::steady_clock::time_point deadline)
+      : deadline_(deadline), has_deadline_(true) {}
+
+  void cancel() const { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
 
 /// One cell of a sweep grid: where (platform) and how (config, backend) to
 /// replay the shared trace.  The platform is borrowed const — it must
@@ -66,6 +102,11 @@ struct SweepOptions {
   /// finished outcome.  Invoked from worker threads, possibly concurrently:
   /// the callee synchronizes (obs::SweepAggregator does).
   std::function<void(std::size_t, const ScenarioOutcome&)> on_scenario_done;
+  /// Optional cancel token, polled before each scenario starts.  Scenarios
+  /// claimed after it trips finish immediately as ok=false outcomes with
+  /// ErrorCode::Cancelled; scenarios already running complete normally.
+  /// Borrowed const — must outlive the sweep call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Resolve a jobs request: values <= 0 become hardware concurrency (>= 1).

@@ -35,9 +35,11 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <unordered_map>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 
 namespace tir::svc {
 
@@ -57,7 +59,11 @@ class LruCache {
  public:
   /// A zero budget disables retention entirely (every lookup is a miss);
   /// the single-flight guarantee still holds for concurrent loads.
-  explicit LruCache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+  /// `fault_point` optionally names a fault::point consulted before each
+  /// load — Kind::AllocFail makes the load throw std::bad_alloc, which is
+  /// how the chaos harness exercises memory-pressure degradation.
+  explicit LruCache(std::uint64_t capacity_bytes, const char* fault_point = nullptr)
+      : capacity_(capacity_bytes), fault_point_(fault_point) {}
 
   LruCache(const LruCache&) = delete;
   LruCache& operator=(const LruCache&) = delete;
@@ -95,6 +101,9 @@ class LruCache {
     V value{};
     std::exception_ptr error;
     try {
+      if (fault_point_ != nullptr && fault::point(fault_point_) == fault::Kind::AllocFail) {
+        throw std::bad_alloc();
+      }
       value = loader();
     } catch (...) {
       error = std::current_exception();
@@ -193,6 +202,7 @@ class LruCache {
 
   mutable std::mutex mutex_;
   std::uint64_t capacity_;
+  const char* fault_point_ = nullptr;  ///< consulted before loads when set
   List lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, typename List::iterator> map_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Flight>> flights_;

@@ -8,7 +8,9 @@
 // (that is also what exercises the daemon's admission control honestly).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,13 @@ struct JobResult {
   bool failed = false;  ///< job-level failure (bad trace/platform/config)
   std::string error;
   std::string error_code;
+  /// The failure was transport-level (dial/read/write died, EOF mid-job) —
+  /// the server never gave a verdict, so the job is safe to retry.
+  bool transport = false;
+  /// The server reported deadline expiry ("expired":true on failed/done).
+  bool expired = false;
+  /// Submits actually sent by submit_with_retry (1 for plain submit).
+  int attempts = 0;
 
   Json started;                 ///< the "started" response (cache truth, timings)
   std::vector<Json> scenarios;  ///< "scenario" responses in completion order
@@ -44,7 +53,15 @@ class Client {
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
 
+  /// Arm per-direction socket timeouts (deadline semantics: any read stall
+  /// throws inside submit and is reported as a transport failure).
+  void set_timeouts(int recv_ms, int send_ms) {
+    conn_.set_timeouts(recv_ms, send_ms, LineConn::TimeoutMode::Always);
+  }
+
   /// Submit one predict job and block until its terminal response.
+  /// Transport-level failures (reset, timeout, EOF mid-job) come back as
+  /// failed results with transport=true — submit never throws once dialed.
   JobResult submit(const JobRequest& request);
 
   /// Liveness probe; false when the daemon hung up instead of answering.
@@ -66,5 +83,67 @@ class Client {
 
   LineConn conn_;
 };
+
+/// How submit_with_retry backs off: exponential with decorrelated jitter
+/// (sleep = min(max_backoff, uniform(base, 3 * previous)); AWS-style),
+/// seeded so a given (seed, attempt) sequence is reproducible run-to-run.
+struct RetryPolicy {
+  int max_attempts = 5;
+  double base_ms = 10.0;          ///< first backoff and jitter floor
+  double max_backoff_ms = 2000.0;
+  /// Overall wall-clock budget across all attempts (0 = none).  Also sent
+  /// to the server as the per-request deadline_ms (the remaining budget),
+  /// and armed as the socket read timeout so a stalled daemon cannot hold
+  /// the client past its deadline.
+  double deadline_seconds = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// One backoff decision, for -v style reporting of the schedule used.
+struct RetryEvent {
+  int attempt = 0;        ///< the attempt that just ended (1-based)
+  double backoff_ms = 0;  ///< sleep before the next attempt
+  std::string reason;     ///< "rejected" | "transport" | ...
+};
+
+/// Trips open after `threshold` consecutive transport failures; fast-fails
+/// submits while open; half-opens after `cooldown_seconds` to probe with a
+/// single attempt.  Thread-safe: load generators share one across clients.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(int threshold = 5, double cooldown_seconds = 1.0)
+      : threshold_(threshold), cooldown_seconds_(cooldown_seconds) {}
+
+  /// May an attempt proceed?  (Half-open: the first caller after cooldown.)
+  bool allow();
+  void record_success();
+  void record_failure();
+  bool open() const;
+  int consecutive_failures() const;
+
+ private:
+  mutable std::mutex mutex_;
+  int threshold_;
+  double cooldown_seconds_;
+  int failures_ = 0;
+  bool open_ = false;
+  std::chrono::steady_clock::time_point opened_{};
+};
+
+/// Resilient submit: a fresh connection per attempt, exponential backoff
+/// with decorrelated jitter, the server's retry_after_ms hint honored as the
+/// backoff floor, an optional overall deadline, and idempotent re-submits —
+/// the request is stamped with its content key (unless the caller already
+/// set idem_key), so an attempt that completed server-side but died on the
+/// response path is answered from the daemon's result cache bit-identically
+/// instead of re-running.
+///
+/// `breaker` (optional) is consulted before each attempt and fed the
+/// attempt outcomes.  `schedule` (optional) records every backoff decision
+/// for -v reporting.  Returns the last attempt's JobResult with .attempts
+/// filled in; never throws for transport-shaped failures.
+JobResult submit_with_retry(const std::string& endpoint, JobRequest request,
+                            const RetryPolicy& policy = {}, CircuitBreaker* breaker = nullptr,
+                            std::vector<RetryEvent>* schedule = nullptr);
 
 }  // namespace tir::svc

@@ -2,15 +2,20 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 
 namespace tir::svc {
 
@@ -71,6 +76,34 @@ sockaddr_in make_tcp_addr(const std::string& host, int port) {
   return addr;
 }
 
+void set_socket_timeout(int fd, int option, int ms) {
+  if (ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv);
+}
+
+/// Finish a connect() that EINTR interrupted: on POSIX the connection keeps
+/// establishing asynchronously, so re-calling connect() is wrong (EALREADY /
+/// spurious EADDRINUSE) — poll for writability and read SO_ERROR instead.
+void finish_interrupted_connect(int fd, const std::string& endpoint) {
+  pollfd pfd{fd, POLLOUT, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, -1);
+    if (r > 0) break;
+    if (r < 0 && errno == EINTR) continue;
+    fail("poll after interrupted connect " + endpoint);
+  }
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) fail("getsockopt " + endpoint);
+  if (err != 0) {
+    errno = err;
+    fail("connect " + endpoint);
+  }
+}
+
 }  // namespace
 
 LineConn& LineConn::operator=(LineConn&& other) noexcept {
@@ -78,9 +111,17 @@ LineConn& LineConn::operator=(LineConn&& other) noexcept {
     close();
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
+    timeout_mode_ = other.timeout_mode_;
     other.fd_ = -1;
   }
   return *this;
+}
+
+void LineConn::set_timeouts(int recv_ms, int send_ms, TimeoutMode mode) {
+  timeout_mode_ = mode;
+  if (fd_ < 0) return;
+  set_socket_timeout(fd_, SO_RCVTIMEO, recv_ms);
+  set_socket_timeout(fd_, SO_SNDTIMEO, send_ms);
 }
 
 void LineConn::close() {
@@ -100,6 +141,17 @@ bool LineConn::read_line(std::string& out, std::size_t max_line) {
       return true;
     }
     if (buffer_.size() > max_line) throw Error("line exceeds " + std::to_string(max_line) + " bytes");
+    switch (fault::point("svc.net.read")) {
+      case fault::Kind::Eintr:
+        continue;  // what a real EINTR return does: retry the syscall
+      case fault::Kind::Reset:
+        throw Error("recv: injected connection reset");
+      case fault::Kind::Stall:
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        break;
+      default:
+        break;
+    }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n == 0) {
@@ -112,6 +164,17 @@ bool LineConn::read_line(std::string& out, std::size_t max_line) {
     }
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired.  Whether that is fatal depends on the mode:
+        // the server only cuts peers that stalled *mid-line* (slow loris);
+        // the client treats any stall as its deadline talking.
+        if (timeout_mode_ == TimeoutMode::Always ||
+            (timeout_mode_ == TimeoutMode::MidLine && !buffer_.empty())) {
+          throw Error("read timeout (" +
+                      std::string(buffer_.empty() ? "no data" : "stalled mid-line") + ")");
+        }
+        continue;
+      }
       fail("recv");
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));
@@ -123,11 +186,26 @@ bool LineConn::write_line(const std::string& line) {
   framed.push_back('\n');
   std::size_t sent = 0;
   while (sent < framed.size()) {
-    const ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    std::size_t len = framed.size() - sent;
+    switch (fault::point("svc.net.write")) {
+      case fault::Kind::Eintr:
+        continue;  // what a real EINTR return does: retry the syscall
+      case fault::Kind::Reset:
+        return false;  // peer vanished between our writes
+      case fault::Kind::ShortWrite:
+        len = 1;  // force the partial-write continuation path
+        break;
+      default:
+        break;
+    }
+    const ssize_t n = ::send(fd_, framed.data() + sent, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET) return false;
+      // SO_SNDTIMEO expired: the peer stopped draining its socket.  Treat
+      // it as gone — blocking a worker on a wedged client is the one thing
+      // the server must never do.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
       fail("send");
     }
     sent += static_cast<std::size_t>(n);
@@ -169,9 +247,21 @@ LineConn Listener::accept() {
   for (;;) {
     const int listen_fd = fd_.load();
     if (listen_fd < 0) return LineConn();  // closed by the shutdown thread
+    if (fault::point("svc.net.accept") == fault::Kind::AcceptFail) {
+      continue;  // a transient accept() failure: the loop just retries
+    }
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) return LineConn(fd);
     if (errno == EINTR) continue;
+    // Transient per-connection failures must not stop the accept loop: the
+    // peer aborted its own connect (ECONNABORTED) or the host briefly ran
+    // out of descriptors/buffers — the next accept() may well succeed.
+    if (errno == ECONNABORTED || errno == EPROTO) continue;
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+      // Resource exhaustion clears when a connection closes; don't hot-spin.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
     // EBADF/EINVAL after close() from the shutdown thread: orderly stop.
     return LineConn();
   }
@@ -193,27 +283,40 @@ void Listener::close() {
 
 LineConn dial(const std::string& endpoint) {
   const Parsed p = parse_endpoint(endpoint);
-  int fd = -1;
+  if (fault::point("svc.net.dial") == fault::Kind::Reset) {
+    errno = ECONNRESET;
+    fail("connect " + endpoint + " (injected)");
+  }
+  sockaddr_un unix_addr{};
+  sockaddr_in tcp_addr{};
+  const sockaddr* addr = nullptr;
+  socklen_t addr_len = 0;
   if (p.is_unix) {
-    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) fail("socket(unix)");
-    const sockaddr_un addr = make_unix_addr(p.path);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
-      const int saved = errno;
-      ::close(fd);
-      errno = saved;
-      fail("connect " + endpoint);
-    }
+    unix_addr = make_unix_addr(p.path);
+    addr = reinterpret_cast<const sockaddr*>(&unix_addr);
+    addr_len = sizeof unix_addr;
   } else {
-    fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) fail("socket(tcp)");
-    const sockaddr_in addr = make_tcp_addr(p.host, p.port);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
-      const int saved = errno;
-      ::close(fd);
-      errno = saved;
-      fail("connect " + endpoint);
+    tcp_addr = make_tcp_addr(p.host, p.port);
+    addr = reinterpret_cast<const sockaddr*>(&tcp_addr);
+    addr_len = sizeof tcp_addr;
+  }
+  const int fd = ::socket(p.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail(p.is_unix ? "socket(unix)" : "socket(tcp)");
+  if (::connect(fd, addr, addr_len) < 0) {
+    if (errno == EINTR) {
+      // The connection keeps establishing in the background; wait for it.
+      try {
+        finish_interrupted_connect(fd, endpoint);
+        return LineConn(fd);
+      } catch (...) {
+        ::close(fd);
+        throw;
+      }
     }
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("connect " + endpoint);
   }
   return LineConn(fd);
 }

@@ -24,13 +24,27 @@ namespace tir::svc {
 /// Owned exclusively by one thread for reads; write_line() is atomic at the
 /// call level but callers interleaving writers must hold their own lock
 /// (the server wraps one mutex per connection).
+///
+/// Timeouts (off by default): set_timeouts() arms SO_RCVTIMEO/SO_SNDTIMEO
+/// and picks what a read timeout means:
+///
+///   TimeoutMode::MidLine — the server's slow-loris defense: an idle
+///     connection may sit quietly forever, but a peer that sent *part* of a
+///     line and stalled is cut off (read_line throws).
+///   TimeoutMode::Always  — the client's deadline: any read stall throws.
+///
+/// A write timeout always means the peer stopped draining; write_line
+/// reports it as false (peer gone), same as EPIPE.
 class LineConn {
  public:
+  enum class TimeoutMode { None, MidLine, Always };
+
   LineConn() = default;
   explicit LineConn(int fd) : fd_(fd) {}
   ~LineConn() { close(); }
 
-  LineConn(LineConn&& other) noexcept : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  LineConn(LineConn&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)), timeout_mode_(other.timeout_mode_) {
     other.fd_ = -1;
   }
   LineConn& operator=(LineConn&& other) noexcept;
@@ -40,13 +54,18 @@ class LineConn {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  /// Arm kernel-level read/write timeouts (milliseconds; <= 0 leaves that
+  /// direction unbounded) and the read-timeout semantics above.
+  void set_timeouts(int recv_ms, int send_ms, TimeoutMode mode);
+
   /// Read up to and including the next '\n'; the line is returned without
-  /// it.  False on orderly EOF with nothing buffered.  Throws on I/O errors
-  /// and on lines longer than `max_line` (a malformed or malicious client).
+  /// it.  False on orderly EOF with nothing buffered.  Throws on I/O errors,
+  /// on lines longer than `max_line` (a malformed or malicious client), and
+  /// on read timeouts per the TimeoutMode.
   bool read_line(std::string& out, std::size_t max_line = 1u << 20);
 
-  /// Write `line` plus '\n'.  False if the peer is gone (EPIPE/ECONNRESET);
-  /// throws on other errors.
+  /// Write `line` plus '\n'.  False if the peer is gone or stopped draining
+  /// (EPIPE/ECONNRESET/send timeout); throws on other errors.
   bool write_line(const std::string& line);
 
   void close();
@@ -54,6 +73,7 @@ class LineConn {
  private:
   int fd_ = -1;
   std::string buffer_;  ///< bytes read past the last returned line
+  TimeoutMode timeout_mode_ = TimeoutMode::None;
 };
 
 /// Listening socket for either endpoint flavour.

@@ -1,5 +1,9 @@
 #include "svc/protocol.hpp"
 
+#include <cstdio>
+
+#include "base/binio.hpp"
+
 namespace tir::svc {
 
 namespace {
@@ -93,6 +97,9 @@ JobRequest parse_request(const std::string& line) {
   request.nprocs = static_cast<int>(j.num_or("nprocs", -1));
   request.platform = j.str_or("platform", "");
   request.metrics = j.bool_or("metrics", false);
+  request.deadline_ms = j.num_or("deadline_ms", 0.0);
+  if (request.deadline_ms < 0) throw ConfigError("deadline_ms must be >= 0");
+  request.idem_key = j.str_or("idem", "");
 
   const Json& calibration = j.get("calibration");
   if (calibration.is_object()) {
@@ -129,6 +136,8 @@ std::string render_request(const JobRequest& request) {
   if (request.nprocs > 0) j.set("nprocs", request.nprocs);
   if (!request.platform.empty()) j.set("platform", request.platform);
   if (request.metrics) j.set("metrics", true);
+  if (request.deadline_ms > 0) j.set("deadline_ms", request.deadline_ms);
+  if (!request.idem_key.empty()) j.set("idem", request.idem_key);
   if (request.calibrate) j.set("calibration", render_calibration(request.calibration));
   Json scenarios = Json::array();
   for (const ScenarioSpec& spec : request.scenarios) {
@@ -146,6 +155,19 @@ std::string render_request(const JobRequest& request) {
   }
   j.set("scenarios", std::move(scenarios));
   return j.dump();
+}
+
+std::string content_key(const JobRequest& request) {
+  JobRequest canonical = request;
+  canonical.id = 0;
+  canonical.deadline_ms = 0.0;
+  canonical.idem_key.clear();
+  const std::string rendered = render_request(canonical);
+  std::uint64_t h = binio::mix64(binio::kHashSeed, 'I');
+  for (const char c : rendered) h = binio::mix64(h, static_cast<unsigned char>(c));
+  char buffer[20];
+  std::snprintf(buffer, sizeof buffer, "%016llx", static_cast<unsigned long long>(h));
+  return buffer;
 }
 
 Json make_rejected(std::uint64_t job, int retry_after_ms, std::size_t queue_depth,
@@ -217,7 +239,7 @@ core::ScenarioOutcome parse_scenario(const Json& response) {
   } else {
     outcome.error = response.str_or("error", "");
     const std::string code = response.str_or("error_code", "error");
-    for (int c = 0; c <= static_cast<int>(ErrorCode::Internal); ++c) {
+    for (int c = 0; c <= static_cast<int>(kLastErrorCode); ++c) {
       if (code == error_code_name(static_cast<ErrorCode>(c))) {
         outcome.error_code = static_cast<ErrorCode>(c);
         break;

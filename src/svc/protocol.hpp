@@ -54,7 +54,21 @@ struct JobRequest {
   /// its result, and the daemon caches it by (platform, request) key.
   bool calibrate = false;
   core::CalibrationRequest calibration;
+  /// Per-job deadline in milliseconds from admission (0 = none).  The server
+  /// cancels remaining scenarios between scenarios once it passes; expired
+  /// jobs fail with ErrorCode::Cancelled and "expired":true.
+  double deadline_ms = 0.0;
+  /// Idempotency key ("idem" on the wire, 16 hex chars from content_key()).
+  /// A re-submitted key whose job already completed is answered from the
+  /// server's result cache, bit-identical to the first run.  Empty = none.
+  std::string idem_key;
 };
+
+/// The canonical content fingerprint of a predict request: what it asks for
+/// (trace, platform, scenarios, calibration, metrics) — not when it must be
+/// done by (deadline) and not its identity fields (id, idem).  Retries use
+/// this as the idempotency key so a completed job is never re-run.
+std::string content_key(const JobRequest& request);
 
 /// Parse one request line.  Throws tir::ParseError/ConfigError on malformed
 /// JSON, unknown ops, or missing required fields.

@@ -73,12 +73,13 @@ Json cache_stats_json(const CacheStats& s) {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity),
-      traces_(options_.cache_bytes),
+      traces_(options_.cache_bytes, "svc.cache.load"),
       // Platforms and calibrated rates are tiny next to decoded traces; give
       // them fixed slices that vanish with the trace budget so cache_bytes=0
       // really is the cold path end to end (the bench depends on that).
       platforms_(options_.cache_bytes == 0 ? 0 : (32ull << 20)),
-      calibrations_(options_.cache_bytes == 0 ? 0 : (1ull << 20)) {}
+      calibrations_(options_.cache_bytes == 0 ? 0 : (1ull << 20)),
+      results_(options_.cache_bytes == 0 ? 0 : (8ull << 20)) {}
 
 Server::~Server() {
   shutdown();
@@ -141,6 +142,10 @@ void Server::accept_loop() {
   for (;;) {
     LineConn conn = listener_->accept();
     if (!conn.valid()) return;  // listener closed: shutdown
+    // Slow-loris defense: a peer stalled mid-line (or not draining results)
+    // is cut off; a quietly idle connection is left alone.
+    conn.set_timeouts(options_.read_timeout_ms, options_.write_timeout_ms,
+                      LineConn::TimeoutMode::MidLine);
     auto client = std::make_shared<Client>(std::move(conn));
     {
       const std::lock_guard<std::mutex> lock(clients_mutex_);
@@ -162,7 +167,7 @@ void Server::worker_loop() {
 void Server::handle_connection(std::shared_ptr<Client> client) {
   std::string line;
   try {
-    while (client->conn.read_line(line)) {
+    while (client->conn.read_line(line, options_.max_frame)) {
       if (line.empty()) continue;
       handle_line(client, line);
     }
@@ -208,6 +213,7 @@ void Server::handle_line(const std::shared_ptr<Client>& client, const std::strin
     traces_.clear();
     platforms_.clear();
     calibrations_.clear();
+    results_.clear();
     {
       const std::lock_guard<std::mutex> lock(text_keys_mutex_);
       text_keys_.clear();
@@ -231,6 +237,12 @@ void Server::handle_line(const std::shared_ptr<Client>& client, const std::strin
   request.id = next_job_id_.fetch_add(1);
   const std::uint64_t id = request.id;
   Job job{std::move(request), client, std::chrono::steady_clock::now()};
+  if (job.request.deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline = job.admitted + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          job.request.deadline_ms));
+  }
   if (!queue_.try_push(std::move(job))) {
     ++jobs_rejected_;
     client->send(make_rejected(id, options_.retry_after_ms, queue_.size(), queue_.capacity()));
@@ -243,12 +255,55 @@ void Server::handle_line(const std::shared_ptr<Client>& client, const std::strin
   client->send(make_accepted(id, queue_.size(), queue_.capacity()));
 }
 
+bool Server::replay_completed(const Job& job) {
+  if (job.request.idem_key.empty()) return false;
+  const std::uint64_t key =
+      hash_bytes(binio::mix64(binio::kHashSeed, 'R'), job.request.idem_key);
+  std::shared_ptr<const CompletedJob> completed;
+  if (!results_.get(key, completed)) return false;
+  // Bit-identical replay of the stored stream, re-stamped with the new job
+  // id (the numbers were rendered %.17g once and are copied verbatim).
+  ++idempotent_replays_;
+  Json started = completed->started;
+  started.set("job", job.request.id);
+  started.set("idempotent", true);
+  job.client->send(started);
+  for (const Json& scenario : completed->scenarios) {
+    Json line = scenario;
+    line.set("job", job.request.id);
+    job.client->send(line);
+  }
+  Json done = completed->done;
+  done.set("job", job.request.id);
+  done.set("idempotent", true);
+  job.client->send(done);
+  ++jobs_completed_;
+  return true;
+}
+
 void Server::run_job(Job& job) {
   const JobRequest& request = job.request;
   const double queue_wait = seconds_since(job.admitted);
+
+  // Deadline already passed while the job sat in the queue: answer cheaply
+  // and definitely instead of burning a worker on a stale request.
+  if (job.has_deadline && std::chrono::steady_clock::now() >= job.deadline) {
+    ++jobs_expired_;
+    ++jobs_failed_;
+    Json failed = make_failed(request.id, "deadline expired before the job started",
+                              ErrorCode::Cancelled);
+    failed.set("expired", true);
+    job.client->send(failed);
+    return;
+  }
+
+  // Idempotent re-submit of a completed job: serve the cached stream.
+  if (replay_completed(job)) return;
+
   try {
     // --- trace: content-keyed, decode-once ----------------------------------
     bool trace_loaded = false;
+    bool degraded = false;
     const auto t_trace = std::chrono::steady_clock::now();
     const auto trace_cost = [](const std::shared_ptr<const titio::SharedTrace>& t) {
       return t->total_actions() * sizeof(tit::Action) + 4096;
@@ -266,27 +321,40 @@ void Server::run_job(Job& job) {
       }
     }
     std::shared_ptr<const titio::SharedTrace> trace;
-    if (trace_key == 0) {
-      // First sight of a text manifest: load to learn its content hash.
-      auto loaded = std::make_shared<const titio::SharedTrace>(
-          titio::SharedTrace::load(request.trace, {}, request.nprocs));
-      trace_loaded = true;
-      trace_key = loaded->content_hash();
-      {
-        const std::lock_guard<std::mutex> lock(text_keys_mutex_);
-        text_keys_[request.trace] = trace_key;
+    try {
+      if (trace_key == 0) {
+        // First sight of a text manifest: load to learn its content hash.
+        auto loaded = std::make_shared<const titio::SharedTrace>(
+            titio::SharedTrace::load(request.trace, {}, request.nprocs));
+        trace_loaded = true;
+        trace_key = loaded->content_hash();
+        {
+          const std::lock_guard<std::mutex> lock(text_keys_mutex_);
+          text_keys_[request.trace] = trace_key;
+        }
+        trace = traces_.get_or_load(trace_key, [&] { return loaded; }, trace_cost);
+      } else {
+        trace = traces_.get_or_load(
+            trace_key,
+            [&] {
+              trace_loaded = true;
+              return std::make_shared<const titio::SharedTrace>(
+                  titio::SharedTrace::load(request.trace, {}, request.nprocs));
+            },
+            trace_cost);
       }
-      trace = traces_.get_or_load(trace_key, [&] { return loaded; }, trace_cost);
-    } else {
-      trace = traces_.get_or_load(
-          trace_key,
-          [&] {
-            trace_loaded = true;
-            return std::make_shared<const titio::SharedTrace>(
-                titio::SharedTrace::load(request.trace, {}, request.nprocs));
-          },
-          trace_cost);
+    } catch (const std::bad_alloc&) {
+      // Memory pressure on the cache path: shed to cold-path replay instead
+      // of failing the job.  Nothing is retained, the prediction itself is
+      // unaffected — "degraded" here means "paid the decode again", the
+      // service-layer mirror of ReplayResult::degraded.
+      degraded = true;
+      trace_loaded = true;
+      trace = std::make_shared<const titio::SharedTrace>(
+          titio::SharedTrace::load(request.trace, {}, request.nprocs));
+      if (trace_key == 0) trace_key = trace->content_hash();
     }
+    if (degraded) ++jobs_degraded_;
     const double decode_seconds = seconds_since(t_trace);
 
     // --- platform: keyed by file bytes --------------------------------------
@@ -351,6 +419,7 @@ void Server::run_job(Job& job) {
     started.set("trace_cache", trace_loaded ? "miss" : "hit");
     started.set("queue_wait_seconds", queue_wait);
     started.set("decode_seconds", decode_seconds);
+    if (degraded) started.set("degraded", true);
     if (request.calibrate) {
       started.set("calibration_cache", calibration_computed ? "miss" : "hit");
       started.set("calibrate_seconds", calibrate_seconds);
@@ -377,17 +446,33 @@ void Server::run_job(Job& job) {
       scenarios.push_back(std::move(sc));
     }
 
+    // Per-job deadline: polled between scenarios; an expired job cancels its
+    // remaining scenarios (ErrorCode::Cancelled outcomes) instead of
+    // running a prediction nobody is waiting for anymore.
+    const core::CancelToken cancel =
+        job.has_deadline ? core::CancelToken(job.deadline) : core::CancelToken();
+
+    std::vector<Json> scenario_lines;  // retained for the idempotency cache
+    scenario_lines.reserve(scenarios.size());
     core::SweepOptions sweep_options;
     sweep_options.jobs = 1;  // the service parallelizes across jobs, not inside
+    sweep_options.cancel = job.has_deadline ? &cancel : nullptr;
     sweep_options.on_scenario_done = [&](std::size_t index,
                                          const core::ScenarioOutcome& outcome) {
       ++(outcome.ok ? scenarios_ok_ : scenarios_failed_);
-      job.client->send(make_scenario(request.id, index, outcome));
+      scenario_lines.push_back(make_scenario(request.id, index, outcome));
+      job.client->send(scenario_lines.back());
     };
     const auto t_replay = std::chrono::steady_clock::now();
     const std::vector<core::ScenarioOutcome> outcomes =
         core::sweep(*trace, scenarios, sweep_options);
     const double replay_seconds = seconds_since(t_replay);
+
+    bool expired = false;
+    for (const core::ScenarioOutcome& o : outcomes) {
+      if (!o.ok && o.error_code == ErrorCode::Cancelled) expired = true;
+    }
+    if (expired) ++jobs_expired_;
 
     Json done = Json::object();
     done.set("type", "done");
@@ -396,6 +481,8 @@ void Server::run_job(Job& job) {
     for (const core::ScenarioOutcome& o : outcomes) ok += o.ok ? 1 : 0;
     done.set("scenarios", outcomes.size());
     done.set("scenarios_ok", ok);
+    if (expired) done.set("expired", true);
+    if (degraded) done.set("degraded", true);
     done.set("trace_cache", trace_loaded ? "miss" : "hit");
     done.set("queue_wait_seconds", queue_wait);
     done.set("decode_seconds", decode_seconds);
@@ -430,6 +517,20 @@ void Server::run_job(Job& job) {
     }
     job.client->send(done);
     ++jobs_completed_;
+
+    // Retain the stream for idempotent re-submits — but only clean runs:
+    // expired jobs must re-run with a fresh budget, degraded ones should
+    // retry the cached path, and metrics streams are too big to be worth it.
+    if (!request.idem_key.empty() && !expired && !degraded && !request.metrics) {
+      auto completed = std::make_shared<CompletedJob>();
+      completed->started = started;
+      completed->scenarios = std::move(scenario_lines);
+      completed->done = done;
+      std::uint64_t cost = 512 + started.dump().size() + done.dump().size();
+      for (const Json& line : completed->scenarios) cost += line.dump().size();
+      results_.put(hash_bytes(binio::mix64(binio::kHashSeed, 'R'), request.idem_key),
+                   std::shared_ptr<const CompletedJob>(std::move(completed)), cost);
+    }
   } catch (const Error& e) {
     ++jobs_failed_;
     job.client->send(make_failed(request.id, e.what(), e.code()));
@@ -451,6 +552,9 @@ Json Server::stats_json() const {
   Json jobs = Json::object();
   jobs.set("completed", jobs_completed_.load());
   jobs.set("failed", jobs_failed_.load());
+  jobs.set("expired", jobs_expired_.load());
+  jobs.set("degraded", jobs_degraded_.load());
+  jobs.set("idempotent_replays", idempotent_replays_.load());
   jobs.set("scenarios_ok", scenarios_ok_.load());
   jobs.set("scenarios_failed", scenarios_failed_.load());
   s.set("jobs", std::move(jobs));
@@ -458,6 +562,7 @@ Json Server::stats_json() const {
   s.set("traces", cache_stats_json(traces_.stats()));
   s.set("platforms", cache_stats_json(platforms_.stats()));
   s.set("calibrations", cache_stats_json(calibrations_.stats()));
+  s.set("results", cache_stats_json(results_.stats()));
   return s;
 }
 

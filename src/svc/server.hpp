@@ -22,6 +22,8 @@
 // is how tird-bench measures the cold path of the very same binary.
 #pragma once
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -48,6 +50,15 @@ struct ServerOptions {
   std::size_t queue_capacity = 64;          ///< admission queue depth
   std::uint64_t cache_bytes = 256ull << 20; ///< trace-cache budget; 0 = no retention
   int retry_after_ms = 50;                  ///< backoff hint in reject responses
+  /// Read stall cutoff for client connections, milliseconds (0 = none).
+  /// Slow-loris semantics: only a peer stalled *mid-line* is cut; idle
+  /// connections may sit forever (LineConn::TimeoutMode::MidLine).
+  int read_timeout_ms = 30000;
+  /// Write stall cutoff, milliseconds (0 = none): a client that stops
+  /// draining its socket while a worker streams results is treated as gone.
+  int write_timeout_ms = 10000;
+  /// Request line byte cap; longer lines drop the connection.
+  std::size_t max_frame = 1u << 20;
 };
 
 class Server {
@@ -94,11 +105,17 @@ class Server {
     bool send(const Json& response) {
       const std::lock_guard<std::mutex> lock(write_mutex);
       if (!conn.valid()) return false;
+      bool ok = false;
       try {
-        return conn.write_line(response.dump());
+        ok = conn.write_line(response.dump());
       } catch (...) {
-        return false;
       }
+      // A failed write means the peer is gone or wedged.  Half-close the
+      // socket so the peer (and our own connection reader, blocked in recv)
+      // sees EOF *now* — a silently truncated stream would leave a client
+      // waiting out its whole read timeout for lines that can never come.
+      if (!ok) ::shutdown(conn.fd(), SHUT_RDWR);
+      return ok;
     }
   };
 
@@ -106,6 +123,19 @@ class Server {
     JobRequest request;
     std::shared_ptr<Client> client;
     std::chrono::steady_clock::time_point admitted{};
+    /// Deadline derived from request.deadline_ms at admission; only
+    /// meaningful when has_deadline.
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+  };
+
+  /// One finished job's full response stream, retained for idempotent
+  /// re-submits (keyed by the request's "idem" content key).  Replayed
+  /// copies are re-stamped with the new job id.
+  struct CompletedJob {
+    Json started;
+    std::vector<Json> scenarios;
+    Json done;
   };
 
   void accept_loop();
@@ -113,6 +143,8 @@ class Server {
   void handle_connection(std::shared_ptr<Client> client);
   void handle_line(const std::shared_ptr<Client>& client, const std::string& line);
   void run_job(Job& job);
+  /// Serve a completed job from the idempotency cache; false on miss.
+  bool replay_completed(const Job& job);
   Json stats_json() const;
 
   ServerOptions options_;
@@ -123,6 +155,9 @@ class Server {
   LruCache<std::shared_ptr<const titio::SharedTrace>> traces_;
   LruCache<std::shared_ptr<const platform::Platform>> platforms_;
   LruCache<double> calibrations_;
+  /// Idempotency results: content key -> full response stream of a clean
+  /// (not expired, not degraded) completed job.
+  LruCache<std::shared_ptr<const CompletedJob>> results_;
   /// Text manifests cannot be content-hashed without decoding, so the first
   /// load memoizes path -> content hash here (flush clears it; TITB files
   /// are re-fingerprinted from their frame CRCs on every request instead).
@@ -148,6 +183,9 @@ class Server {
   std::atomic<std::uint64_t> jobs_failed_{0};
   std::atomic<std::uint64_t> scenarios_ok_{0};
   std::atomic<std::uint64_t> scenarios_failed_{0};
+  std::atomic<std::uint64_t> jobs_expired_{0};    ///< deadline tripped (pre-run or mid-sweep)
+  std::atomic<std::uint64_t> jobs_degraded_{0};   ///< cache pressure shed to cold path
+  std::atomic<std::uint64_t> idempotent_replays_{0};
 };
 
 }  // namespace tir::svc

@@ -88,9 +88,16 @@ Reader::Reader(const std::string& path, ReaderOptions options)
   if (raw[pos++] != kIndexFrame) {
     throw CorruptFrameError("corrupt index frame kind: " + path, index_offset);
   }
-  const std::uint64_t entries = binio::get_varint(raw.data(), raw.size(), pos);
-  const std::uint64_t entries2 = binio::get_varint(raw.data(), raw.size(), pos);
-  const std::uint64_t payload_bytes = binio::get_varint(raw.data(), raw.size(), pos);
+  std::uint64_t entries = 0;
+  std::uint64_t entries2 = 0;
+  std::uint64_t payload_bytes = 0;
+  try {
+    entries = binio::get_varint(raw.data(), raw.size(), pos);
+    entries2 = binio::get_varint(raw.data(), raw.size(), pos);
+    payload_bytes = binio::get_varint(raw.data(), raw.size(), pos);
+  } catch (const ParseError&) {
+    throw CorruptFrameError("index preamble truncated: " + path, index_offset);
+  }
   if (entries != entries2 || pos + payload_bytes + 4 != raw.size()) {
     throw CorruptFrameError("corrupt index frame in binary trace: " + path, index_offset);
   }
@@ -107,25 +114,35 @@ Reader::Reader(const std::string& path, ReaderOptions options)
   const std::size_t payload_end = pos + static_cast<std::size_t>(payload_bytes);
   std::uint64_t prev_offset = 0;
   std::uint64_t indexed_actions = 0;
-  for (std::uint64_t i = 0; i < entries; ++i) {
-    FrameRef f;
-    const std::uint64_t rank = binio::get_varint(raw.data(), payload_end, p);
-    f.offset = prev_offset + binio::get_varint(raw.data(), payload_end, p);
-    f.actions = binio::get_varint(raw.data(), payload_end, p);
-    f.payload_bytes = binio::get_varint(raw.data(), payload_end, p);
-    prev_offset = f.offset;
-    if (rank >= nprocs) {
-      throw CorruptFrameError("index entry rank p" + std::to_string(rank) + " out of range: " +
-                                  path,
-                              index_offset);
+  try {
+    for (std::uint64_t i = 0; i < entries; ++i) {
+      FrameRef f;
+      const std::uint64_t rank = binio::get_varint(raw.data(), payload_end, p);
+      f.offset = prev_offset + binio::get_varint(raw.data(), payload_end, p);
+      f.actions = binio::get_varint(raw.data(), payload_end, p);
+      f.payload_bytes = binio::get_varint(raw.data(), payload_end, p);
+      prev_offset = f.offset;
+      if (rank >= nprocs) {
+        throw CorruptFrameError("index entry rank p" + std::to_string(rank) + " out of range: " +
+                                    path,
+                                index_offset);
+      }
+      if (f.offset < kHeaderBytes || f.offset + f.payload_bytes + 4 > index_offset) {
+        throw CorruptFrameError("index entry offset out of bounds: " + path, index_offset);
+      }
+      f.rank = static_cast<std::uint32_t>(rank);
+      indexed_actions += f.actions;
+      of_rank_[rank].push_back(frames_.size());
+      frames_.push_back(f);
     }
-    if (f.offset < kHeaderBytes || f.offset + f.payload_bytes + 4 > index_offset) {
-      throw CorruptFrameError("index entry offset out of bounds: " + path, index_offset);
-    }
-    f.rank = static_cast<std::uint32_t>(rank);
-    indexed_actions += f.actions;
-    of_rank_[rank].push_back(frames_.size());
-    frames_.push_back(f);
+  } catch (const CorruptFrameError&) {
+    throw;  // already typed with the index offset
+  } catch (const ParseError&) {
+    // A varint ran past the payload: the index itself is truncated
+    // mid-entry.  The index is the resync anchor, so there is nothing to
+    // recover with — surface a typed corruption with the damage's byte
+    // offset even in recover mode, never a bare parse error (or a loop).
+    throw CorruptFrameError("index truncated mid-entry: " + path, index_offset);
   }
   if (p != payload_end) {
     throw CorruptFrameError("trailing bytes in binary trace index: " + path, index_offset);

@@ -220,6 +220,66 @@ TEST(Sweep, ExtraRatesWarningReachesSink) {
       << sink.warnings()[0];
 }
 
+// Cancellation (the service's per-job deadline rides on this): a cancelled
+// token turns every not-yet-started scenario into a Cancelled outcome while
+// keeping labels and input order; already-produced outcomes are untouched.
+TEST(Sweep, CancelTokenStopsRemainingScenarios) {
+  const titio::SharedTrace trace = shared_cg();
+  const platform::Platform p = cluster(4);
+  const std::vector<Scenario> scenarios = grid32(p);
+
+  CancelToken token;
+  token.cancel();
+  SweepOptions options;
+  options.jobs = 4;
+  options.cancel = &token;
+  const std::vector<ScenarioOutcome> outcomes = sweep(trace, scenarios, options);
+  ASSERT_EQ(outcomes.size(), scenarios.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_FALSE(outcomes[i].ok);
+    EXPECT_EQ(outcomes[i].error_code, ErrorCode::Cancelled);
+    EXPECT_EQ(outcomes[i].label, scenarios[i].label);
+  }
+}
+
+TEST(Sweep, CancelMidSweepLeavesDefiniteOutcomeForEveryScenario) {
+  const titio::SharedTrace trace = shared_cg();
+  const platform::Platform p = cluster(4);
+  const std::vector<Scenario> scenarios = grid32(p);
+
+  CancelToken token;
+  SweepOptions options;
+  options.jobs = 2;
+  options.cancel = &token;
+  options.on_scenario_done = [&](std::size_t i, const ScenarioOutcome&) {
+    if (i == 4) token.cancel();  // pull the plug partway through
+  };
+  const std::vector<ScenarioOutcome> outcomes = sweep(trace, scenarios, options);
+  ASSERT_EQ(outcomes.size(), scenarios.size());
+  std::size_t completed = 0, cancelled = 0;
+  for (const ScenarioOutcome& o : outcomes) {
+    if (o.ok) {
+      ++completed;
+      EXPECT_GT(o.result.actions_replayed, 0u);
+    } else {
+      ++cancelled;
+      EXPECT_EQ(o.error_code, ErrorCode::Cancelled);
+    }
+  }
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_EQ(completed + cancelled, scenarios.size());
+}
+
+TEST(Sweep, ExpiredDeadlineTokenReportsCancelled) {
+  CancelToken immediate(std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(immediate.cancelled());
+  CancelToken future(std::chrono::steady_clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(future.cancelled());
+  future.cancel();  // explicit cancel overrides the far deadline
+  EXPECT_TRUE(future.cancelled());
+}
+
 TEST(Sweep, RateLadderSpansTheRequestedRange) {
   const platform::Platform p = cluster(4);
   const std::vector<Scenario> ladder = exp::rate_ladder(p, 2e9, 16, 2.0);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "base/error.hpp"
+#include "base/fault.hpp"
 #include "obs/sweep.hpp"
 #include "platform/clusters.hpp"
 #include "svc/client.hpp"
@@ -252,6 +253,205 @@ TEST_F(SvcServer, ShutdownDrainsAdmittedJobs) {
   }
   EXPECT_TRUE(done);  // nothing admitted is ever dropped
   EXPECT_TRUE(ok);
+}
+
+TEST_F(SvcServer, DeadlineExpiredInQueueFailsCancelled) {
+  ServerOptions options;
+  options.endpoint = endpoint("deadline.sock");
+  options.workers = 1;
+  options.cache_bytes = 0;
+  Server server(options);
+  server.start();
+
+  // Hold the single worker with a slow job so the deadlined job's deadline
+  // expires while it waits in the queue — deterministic, no sleeps.
+  LineConn blocker = dial(server.endpoint());
+  ASSERT_TRUE(blocker.write_line(render_request(slow_job())));
+
+  Client client(server.endpoint());
+  JobRequest deadlined = simple_job();
+  deadlined.deadline_ms = 50.0;  // far less than slow_job's runtime
+  const JobResult result = client.submit(deadlined);
+  EXPECT_TRUE(result.failed);
+  EXPECT_TRUE(result.expired);
+  EXPECT_EQ(result.error_code, error_code_name(ErrorCode::Cancelled));
+
+  const Json stats = client.stats();
+  EXPECT_EQ(stats.get("jobs").num_or("expired", 0), 1.0);
+}
+
+TEST_F(SvcServer, IdempotentResubmitReplaysBitIdenticalResult) {
+  ServerOptions options;
+  options.endpoint = endpoint("idem.sock");
+  options.workers = 1;
+  Server server(options);
+  server.start();
+  Client client(server.endpoint());
+
+  JobRequest request = simple_job();
+  request.idem_key = content_key(request);
+  const JobResult first = client.submit(request);
+  ASSERT_TRUE(first.done) << first.error;
+  EXPECT_FALSE(first.started.bool_or("idempotent", false));
+
+  // Same idempotency key: answered from the result cache without re-running,
+  // bit-identical, and flagged so clients can tell.
+  const JobResult replay = client.submit(request);
+  ASSERT_TRUE(replay.done) << replay.error;
+  EXPECT_TRUE(replay.started.bool_or("idempotent", false));
+  EXPECT_NE(replay.id, first.id);  // re-stamped with a fresh job id
+  ASSERT_EQ(replay.scenarios.size(), 1u);
+  EXPECT_EQ(replay.scenarios[0].num_or("simulated_time", -1),
+            first.scenarios[0].num_or("simulated_time", -2));
+  EXPECT_EQ(replay.scenarios[0].num_or("actions_replayed", -1),
+            first.scenarios[0].num_or("actions_replayed", -2));
+
+  // A different request body is a different key: no false sharing.
+  const JobResult other = client.submit(simple_job(2e9));
+  ASSERT_TRUE(other.done);
+  EXPECT_FALSE(other.started.bool_or("idempotent", false));
+
+  const Json stats = client.stats();
+  EXPECT_EQ(stats.get("jobs").num_or("idempotent_replays", 0), 1.0);
+}
+
+TEST_F(SvcServer, AllocFailureDegradesToColdPathSamePrediction) {
+  ServerOptions options;
+  options.endpoint = endpoint("degrade.sock");
+  options.workers = 1;
+  Server server(options);
+  server.start();
+  Client client(server.endpoint());
+
+  // Reference prediction with the cache healthy.
+  const JobResult healthy = client.submit(simple_job());
+  ASSERT_TRUE(healthy.done) << healthy.error;
+  ASSERT_TRUE(client.flush());
+
+  // Memory pressure on the trace cache: the job sheds to the direct cold
+  // path, still completes, and says so.
+  const fault::ScopedPlan plan("seed=1;svc.cache.load=alloc-fail:1.0:1");
+  const JobResult degraded = client.submit(simple_job());
+  ASSERT_TRUE(degraded.done) << degraded.error;
+  EXPECT_TRUE(degraded.started.bool_or("degraded", false));
+  EXPECT_TRUE(degraded.epilogue.bool_or("degraded", false));
+  EXPECT_EQ(degraded.scenarios[0].num_or("simulated_time", -1),
+            healthy.scenarios[0].num_or("simulated_time", -2));
+
+  const Json stats = client.stats();
+  EXPECT_EQ(stats.get("jobs").num_or("degraded", 0), 1.0);
+}
+
+TEST_F(SvcServer, SubmitWithRetryRidesOutBackpressure) {
+  ServerOptions options;
+  options.endpoint = endpoint("retry.sock");
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.cache_bytes = 0;
+  options.retry_after_ms = 5;
+  Server server(options);
+  server.start();
+
+  // Saturate: one slow job running, one queued.  A plain submit would bounce;
+  // submit_with_retry honors retry_after_ms and lands once the worker frees.
+  LineConn running = dial(server.endpoint());
+  LineConn queued = dial(server.endpoint());
+  ASSERT_TRUE(running.write_line(render_request(slow_job())));
+  std::string line;
+  ASSERT_TRUE(running.read_line(line));  // accepted: worker will pick it up
+  for (int i = 0; i < 500 && Client(server.endpoint()).stats().get("queue").num_or(
+                                 "depth", 1) > 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(queued.write_line(render_request(slow_job())));
+  ASSERT_TRUE(queued.read_line(line));  // admission ack: the queue is now full
+  ASSERT_EQ(Json::parse(line).str_or("type", ""), "accepted");
+
+  RetryPolicy policy;
+  policy.max_attempts = 1000;  // bounded by the deadline; sanitizers make the
+  policy.base_ms = 5.0;        // two slow jobs ahead of us take many seconds
+  policy.max_backoff_ms = 100.0;
+  policy.deadline_seconds = 120.0;
+  std::vector<RetryEvent> schedule;
+  const JobResult result =
+      submit_with_retry(server.endpoint(), simple_job(), policy, nullptr, &schedule);
+  ASSERT_TRUE(result.done) << result.error;
+  EXPECT_GE(result.attempts, 2);
+  ASSERT_FALSE(schedule.empty());
+  EXPECT_EQ(schedule[0].reason, "rejected");
+  // The daemon's hint floors the backoff.
+  for (const RetryEvent& event : schedule) EXPECT_GE(event.backoff_ms, 5.0);
+}
+
+TEST_F(SvcServer, SubmitWithRetryReportsTransportAfterBoundedAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_ms = 1.0;
+  policy.max_backoff_ms = 2.0;
+  std::vector<RetryEvent> schedule;
+  const JobResult result = submit_with_retry(endpoint("nobody-home.sock"), simple_job(),
+                                             policy, nullptr, &schedule);
+  EXPECT_TRUE(result.failed);
+  EXPECT_TRUE(result.transport);
+  EXPECT_EQ(result.attempts, 3);
+  EXPECT_EQ(schedule.size(), 2u);  // no backoff after the final attempt
+  for (const RetryEvent& event : schedule) EXPECT_EQ(event.reason, "transport");
+}
+
+TEST_F(SvcServer, RetryJitterIsSeededAndReproducible) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_ms = 1.0;
+  policy.max_backoff_ms = 3.0;
+  policy.seed = 99;
+  std::vector<RetryEvent> first, second;
+  submit_with_retry(endpoint("gone.sock"), simple_job(), policy, nullptr, &first);
+  submit_with_retry(endpoint("gone.sock"), simple_job(), policy, nullptr, &second);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].backoff_ms, second[i].backoff_ms);
+  }
+}
+
+TEST(SvcCircuitBreaker, OpensAfterThresholdAndProbesAfterCooldown) {
+  CircuitBreaker breaker(/*threshold=*/3, /*cooldown_seconds=*/0.05);
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_failure();
+  breaker.record_failure();
+  EXPECT_TRUE(breaker.allow());  // below threshold
+  breaker.record_failure();
+  EXPECT_TRUE(breaker.open());
+  EXPECT_FALSE(breaker.allow());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(breaker.allow());  // half-open: one probe
+  breaker.record_failure();      // probe failed: open again immediately
+  EXPECT_FALSE(breaker.allow());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(breaker.allow());
+  breaker.record_success();  // probe succeeded: closed for good
+  EXPECT_FALSE(breaker.open());
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST_F(SvcServer, BreakerFastFailsWhileOpen) {
+  CircuitBreaker breaker(/*threshold=*/2, /*cooldown_seconds=*/30.0);
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_ms = 1.0;
+  policy.max_backoff_ms = 2.0;
+  // Two transport failures trip the breaker...
+  submit_with_retry(endpoint("void.sock"), simple_job(), policy, &breaker);
+  ASSERT_TRUE(breaker.open());
+  // ...so the next submit fast-fails without dialing (attempt 1 is refused).
+  const JobResult result = submit_with_retry(endpoint("void.sock"), simple_job(),
+                                             policy, &breaker);
+  EXPECT_TRUE(result.failed);
+  EXPECT_TRUE(result.transport);
+  EXPECT_NE(result.error.find("circuit breaker open"), std::string::npos);
 }
 
 TEST(SvcAggregator, JobTimingRollsUpQueueWait) {

@@ -133,6 +133,44 @@ TEST(Recovery, RecoverModeSkipsFrameAndCountsLoss) {
   fs::remove(path);
 }
 
+TEST(Recovery, IndexTruncatedMidEntryDegradesToTypedError) {
+  // The index's entry-count varints (written twice, byte-identical) sit
+  // right after the frame-kind byte and are NOT covered by the payload CRC.
+  // Bumping both by one makes the entry-parse loop run one entry past the
+  // payload — the moral equivalent of an index truncated mid-entry.  Both
+  // strict and recover mode must surface a typed CorruptFrameError carrying
+  // the index's byte offset, not a bare parse error, a crash, or a loop.
+  const fs::path path = write_sample("idxtrunc");
+  std::vector<char> bytes = slurp(path);
+  // Footer (last 20 bytes): u64 index_offset, u64 total_actions, u32 magic.
+  std::uint64_t index_offset = 0;
+  for (int b = 0; b < 8; ++b) {
+    index_offset |= static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(bytes[bytes.size() - 20 + static_cast<std::size_t>(b)]))
+                    << (8 * b);
+  }
+  const std::size_t e1 = static_cast<std::size_t>(index_offset) + 1;
+  ASSERT_LT(static_cast<unsigned char>(bytes[e1]), 0x7f);  // single-byte varint
+  ASSERT_EQ(bytes[e1], bytes[e1 + 1]);                     // entries == entries2
+  ++bytes[e1];
+  ++bytes[e1 + 1];
+  spit(path, bytes);
+
+  for (const bool recover : {false, true}) {
+    ReaderOptions opt;
+    opt.recover = recover;
+    try {
+      Reader reader(path.string(), opt);
+      FAIL() << "expected CorruptFrameError (recover=" << recover << ")";
+    } catch (const CorruptFrameError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::CorruptFrame);
+      EXPECT_EQ(e.offset(), index_offset);
+      EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos);
+    }
+  }
+  fs::remove(path);
+}
+
 TEST(Recovery, RecoverModeDoesNotMaskIndexDamage) {
   // The index is the resync anchor; if it is damaged there is nothing to
   // recover with, so even best-effort mode must refuse the file.
