@@ -51,6 +51,13 @@ def collect_rates(report):
         # only comparable against a baseline from equally-parallel hardware;
         # the drop thresholds still catch regressions on the same CI runner.
         rates[key + ".jobsN"] = sweep["jobsN"]["actions_per_second"]
+    seek = report.get("seek")
+    if seek:
+        # Checkpoint seeking: the cold leg is a full replay, the warm leg the
+        # cursor query of the same late window (effective rate, whole-trace
+        # actions over the query's wall-clock, so speedup == rate ratio).
+        rates["seek.cold"] = seek["cold"]["actions_per_second"]
+        rates["seek.warm"] = seek["warm"]["actions_per_second"]
     service = report.get("service")
     if service:
         # BENCH_service.json (tird_bench): sustained jobs/s per leg.  Same
@@ -89,6 +96,15 @@ def check_gates(report):
             " (required {:.1f}x, identical_results={})".format(
                 sweep["speedup"], sweep["jobs"], sweep["hardware_concurrency"],
                 sweep["required_speedup"], sweep["identical_results"],
+            )
+        )
+    seek = report.get("seek")
+    if seek and not seek.get("pass", True):
+        failures.append(
+            "checkpoint seek: speedup {:.2f}x over cold replay for the late"
+            " window (required {:.1f}x, identical_window={})".format(
+                seek["speedup"], seek["required_speedup"],
+                seek["identical_window"],
             )
         )
     service = report.get("service")

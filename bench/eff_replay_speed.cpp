@@ -33,10 +33,12 @@
 #include <unistd.h>
 #endif
 
+#include "ckpt/cursor.hpp"
 #include "core/replay.hpp"
 #include "core/sweep.hpp"
 #include "exp/experiments.hpp"
 #include "obs/sink.hpp"
+#include "obs/timeline.hpp"
 #include "platform/clusters.hpp"
 #include "tit/trace.hpp"
 #include "titio/reader.hpp"
@@ -96,6 +98,19 @@ struct SweepRecord {
   double speedup = 0;     ///< jobs1 wall / jobsN wall
   double required = 0;    ///< gate armed from the hardware (0 = informational)
   bool identical = false; ///< per-scenario results bitwise equal across legs
+  bool pass = false;
+};
+
+struct SeekRecord {
+  double actions = 0;
+  std::size_t checkpoints = 0;   ///< snapshots the recording replay captured
+  double record_wall = 0;        ///< one-time recording cost (a cold replay)
+  double window_from = 0, window_to = 0, horizon = 0;
+  double cold_wall = 0, cold_rate = 0;  ///< full replay + slice to the window
+  double seek_wall = 0, seek_rate = 0;  ///< warm cursor query of the window
+  double speedup = 0;
+  double required = 5.0;   ///< acceptance gate for the late window
+  bool identical = false;  ///< warm window bitwise equal to the cold slice
   bool pass = false;
 };
 
@@ -497,6 +512,99 @@ SweepRecord run_sweep_case(const exp::ClusterSetup& cluster) {
   return rec;
 }
 
+// Checkpoint seeking (src/ckpt): extracting a LATE window of the timeline
+// must not cost a full replay.  One recording replay captures consistent-cut
+// snapshots; afterwards a cursor query of the last 2% of simulated time
+// replays only [snapshot, to].  Both legs produce the window through the
+// same obs machinery and must agree bitwise — a fast wrong answer fails the
+// gate just like a slow right one.  Best-of-3 per leg, interleaved.
+SeekRecord run_seek_case(const exp::ClusterSetup& cluster) {
+  apps::LuConfig lu;
+  lu.cls = apps::nas_class('B');
+  lu.nprocs = 8;
+  lu.iterations_override = 100;
+  const apps::MachineModel machine(cluster.truth);
+  apps::AcquisitionConfig acq;
+  acq.granularity = hwc::Granularity::Minimal;
+  acq.compiler = hwc::kO3;
+  acq.emit_trace = true;
+  const apps::RunResult traced = apps::run_lu(lu, cluster.platform, machine, acq);
+  const titio::SharedTrace shared(traced.trace);
+
+  core::ReplayConfig cfg;
+  cfg.rates = {cluster.truth.rate_in_cache};
+
+  SeekRecord rec;
+  rec.actions = static_cast<double>(traced.trace.total_actions());
+
+  ckpt::ReplayCursor cursor(shared, cluster.platform, cfg, core::Backend::Smpi);
+  auto start = std::chrono::steady_clock::now();
+  const core::ReplayResult recorded = cursor.record();
+  rec.record_wall = seconds_since(start);
+  rec.checkpoints = cursor.checkpoints().checkpoints.size();
+  rec.horizon = recorded.simulated_time;
+  rec.window_from = 0.98 * rec.horizon;
+  rec.window_to = rec.horizon;
+
+  const auto cold_window = [&] {
+    obs::TimelineSink sink;
+    core::ReplayConfig cold_cfg = cfg;
+    cold_cfg.sink = &sink;
+    titio::SharedTrace::Cursor source = shared.cursor();
+    core::replay(core::Backend::Smpi, source, cluster.platform, cold_cfg);
+    std::vector<std::vector<obs::Interval>> window(static_cast<std::size_t>(sink.nranks()));
+    for (int r = 0; r < sink.nranks(); ++r) {
+      window[static_cast<std::size_t>(r)] =
+          obs::slice(sink.intervals(r), rec.window_from, rec.window_to);
+    }
+    return window;
+  };
+
+  std::vector<std::vector<obs::Interval>> cold_intervals, warm_intervals;
+  double best_cold = 1e300, best_seek = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    start = std::chrono::steady_clock::now();
+    cold_intervals = cold_window();
+    best_cold = std::min(best_cold, seconds_since(start));
+    start = std::chrono::steady_clock::now();
+    ckpt::QueryResult q = cursor.query(rec.window_from, rec.window_to);
+    best_seek = std::min(best_seek, seconds_since(start));
+    warm_intervals = std::move(q.timelines);
+  }
+  rec.cold_wall = best_cold;
+  rec.cold_rate = rec.actions / std::max(best_cold, 1e-9);
+  rec.seek_wall = best_seek;
+  // Effective rate: how fast the window ANSWER arrives, charged against the
+  // whole trace — keeps speedup == rate ratio in the JSON.
+  rec.seek_rate = rec.actions / std::max(best_seek, 1e-9);
+  rec.speedup = best_cold / std::max(best_seek, 1e-9);
+
+  rec.identical = cold_intervals.size() == warm_intervals.size();
+  for (std::size_t r = 0; rec.identical && r < cold_intervals.size(); ++r) {
+    rec.identical = cold_intervals[r].size() == warm_intervals[r].size();
+    for (std::size_t k = 0; rec.identical && k < cold_intervals[r].size(); ++k) {
+      const obs::Interval& a = cold_intervals[r][k];
+      const obs::Interval& b = warm_intervals[r][k];
+      rec.identical = a.state == b.state && a.begin == b.begin && a.end == b.end &&
+                      a.bytes == b.bytes && a.partner == b.partner && a.site == b.site;
+    }
+  }
+  rec.pass = rec.identical && rec.speedup >= rec.required;
+
+  std::printf("\nCheckpoint seek (src/ckpt, %s, %.0f actions, %zu snapshot(s),"
+              " record %0.3fs):\n",
+              lu.label().c_str(), rec.actions, rec.checkpoints, rec.record_wall);
+  std::printf("  window = last 2%% of %.4fs simulated, best of 3 per leg\n", rec.horizon);
+  std::printf("  cold  full replay + slice %8.3fs %10.0f actions/s\n", rec.cold_wall,
+              rec.cold_rate);
+  std::printf("  seek  warm cursor query   %8.3fs %10.0f actions/s (effective)\n",
+              rec.seek_wall, rec.seek_rate);
+  std::printf("  speedup %.1fx (gate >= %.0fx), window %s -> %s\n", rec.speedup, rec.required,
+              rec.identical ? "bitwise identical" : "MISMATCH", rec.pass ? "PASS" : "FAIL");
+  std::fflush(stdout);
+  return rec;
+}
+
 long self_peak_rss_kib() {
 #if defined(__linux__)
   struct rusage usage {};
@@ -505,7 +613,8 @@ long self_peak_rss_kib() {
   return -1;
 }
 
-void write_report(const std::string& path, const SinkRecord& sink, const SweepRecord& sweep) {
+void write_report(const std::string& path, const SinkRecord& sink, const SweepRecord& sweep,
+                  const SeekRecord& seek) {
   std::ofstream out(path);
   out.precision(12);
   out << "{\n  \"bench\": \"replay_speed\",\n";
@@ -561,6 +670,21 @@ void write_report(const std::string& path, const SinkRecord& sink, const SweepRe
   out << "    \"required_speedup\": " << sweep.required << ",\n";
   out << "    \"identical_results\": " << (sweep.identical ? "true" : "false") << ",\n";
   out << "    \"pass\": " << (sweep.pass ? "true" : "false") << "\n  },\n";
+  out << "  \"seek\": {\n";
+  out << "    \"actions\": " << seek.actions << ",\n";
+  out << "    \"checkpoints\": " << seek.checkpoints << ",\n";
+  out << "    \"record_wall_seconds\": " << seek.record_wall << ",\n";
+  out << "    \"window_from\": " << seek.window_from << ",\n";
+  out << "    \"window_to\": " << seek.window_to << ",\n";
+  out << "    \"horizon\": " << seek.horizon << ",\n";
+  out << "    \"cold\": {\"wall_seconds\": " << seek.cold_wall
+      << ", \"actions_per_second\": " << seek.cold_rate << "},\n";
+  out << "    \"warm\": {\"wall_seconds\": " << seek.seek_wall
+      << ", \"actions_per_second\": " << seek.seek_rate << "},\n";
+  out << "    \"speedup\": " << seek.speedup << ",\n";
+  out << "    \"required_speedup\": " << seek.required << ",\n";
+  out << "    \"identical_window\": " << (seek.identical ? "true" : "false") << ",\n";
+  out << "    \"pass\": " << (seek.pass ? "true" : "false") << "\n  },\n";
   out << "  \"null_sink\": {\n";
   out << "    \"actions\": " << sink.actions << ",\n";
   out << "    \"repetitions\": " << sink.repetitions << ",\n";
@@ -605,8 +729,9 @@ int main() {
   for (const KernelRecord& k : g_kernels) kernels_pass = kernels_pass && k.pass;
 
   const SweepRecord sweep = run_sweep_case(bd);
+  const SeekRecord seek = run_seek_case(bd);
   const SinkRecord sink = run_sink_overhead(bd);
-  write_report("BENCH_replay_speed.json", sink, sweep);
+  write_report("BENCH_replay_speed.json", sink, sweep, seek);
   std::printf("\nmachine-readable report -> BENCH_replay_speed.json\n");
-  return sink.pass && kernels_pass && sweep.pass ? 0 : 1;
+  return sink.pass && kernels_pass && sweep.pass && seek.pass ? 0 : 1;
 }

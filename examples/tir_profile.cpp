@@ -14,13 +14,24 @@
 // BASENAME defaults to "tir-profile".  On a wedged replay (deadlock or
 // watchdog) the profile is still written: the timeline ends at the wedge
 // point and the JSON carries each blocked rank's wait-for diagnosis.
+//
+// Windowed mode (-from/-to, seconds of simulated time) profiles only that
+// window: checkpoints stored in a TITB v2 trace (or recorded on the spot;
+// -save-ckpt persists them back into the .titb) let the replay fork from
+// the snapshot nearest -from instead of starting at action 0, and the
+// printed window table plus the timeline are sliced to [from, to].
+// Simulated time before the snapshot appears as idle in the .paje —
+// it was skipped, not simulated.  Windowed mode requires the uncontended
+// sharing model (no -contention).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "base/error.hpp"
 #include "base/units.hpp"
+#include "ckpt/cursor.hpp"
 #include "core/replay.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/metrics.hpp"
@@ -39,8 +50,15 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-np N] [-platform FILE] [-rate INSTR_PER_S]\n"
                "          [-backend smpi|msg] [-contention] [-o BASENAME]\n"
+               "          [-from SECONDS -to SECONDS] [-save-ckpt]\n"
                "          TRACE_MANIFEST|TRACE.titb\n",
                argv0);
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
 }
 
 void print_rank_table(const obs::MetricsReport& report, const obs::CriticalPath& path) {
@@ -82,6 +100,21 @@ void print_links(const obs::MetricsReport& report) {
   }
 }
 
+void print_window_table(const std::vector<std::vector<obs::Interval>>& timelines, double from,
+                        double to) {
+  std::printf("\nwindow [%.6f, %.6f] s, state seconds per rank:\n", from, to);
+  std::printf("%6s %10s %10s %10s %10s %10s %10s\n", "rank", "compute", "send", "recv", "wait",
+              "collective", "idle");
+  for (std::size_t r = 0; r < timelines.size(); ++r) {
+    double by_state[6] = {0, 0, 0, 0, 0, 0};
+    for (const obs::Interval& iv : timelines[r]) {
+      by_state[static_cast<std::size_t>(iv.state)] += iv.duration();
+    }
+    std::printf("%6zu %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n", r, by_state[0], by_state[1],
+                by_state[2], by_state[3], by_state[4], by_state[5]);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,6 +125,9 @@ int main(int argc, char** argv) {
   double rate = 1e9;
   bool use_msg = false;
   bool contention = false;
+  double from = -1.0;
+  double to = -1.0;
+  bool save_ckpt = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,14 +138,47 @@ int main(int argc, char** argv) {
     } else if (arg == "-rate" && i + 1 < argc) {
       rate = std::atof(argv[++i]);
     } else if (arg == "-backend" && i + 1 < argc) {
-      use_msg = std::strcmp(argv[++i], "msg") == 0;
+      const std::string backend = argv[++i];
+      if (backend == "msg") {
+        use_msg = true;
+      } else if (backend == "smpi") {
+        use_msg = false;
+      } else {
+        std::fprintf(stderr, "%s: unknown backend '%s' (expected smpi or msg)\n", argv[0],
+                     backend.c_str());
+        usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "-contention") {
       contention = true;
     } else if (arg == "-o" && i + 1 < argc) {
       out_base = argv[++i];
-    } else if (arg[0] != '-') {
+    } else if ((arg == "-from" || arg == "--from") && i + 1 < argc) {
+      if (!parse_double(argv[++i], from) || from < 0.0) {
+        std::fprintf(stderr, "%s: -from wants a non-negative number of seconds, got '%s'\n",
+                     argv[0], argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
+    } else if ((arg == "-to" || arg == "--to") && i + 1 < argc) {
+      if (!parse_double(argv[++i], to) || to < 0.0) {
+        std::fprintf(stderr, "%s: -to wants a non-negative number of seconds, got '%s'\n",
+                     argv[0], argv[i]);
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "-save-ckpt" || arg == "--save-ckpt") {
+      save_ckpt = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      if (!trace_path.empty()) {
+        std::fprintf(stderr, "%s: unexpected extra argument '%s' (trace already given: %s)\n",
+                     argv[0], arg.c_str(), trace_path.c_str());
+        usage(argv[0]);
+        return 2;
+      }
       trace_path = arg;
     } else {
+      std::fprintf(stderr, "%s: unknown or incomplete option '%s'\n", argv[0], arg.c_str());
       usage(argv[0]);
       return 2;
     }
@@ -118,13 +187,21 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  const bool windowed = from >= 0.0 || to >= 0.0;
+  if (windowed && (from < 0.0 || to < 0.0 || to <= from)) {
+    std::fprintf(stderr, "%s: -from and -to must be given together with from < to\n", argv[0]);
+    usage(argv[0]);
+    return 2;
+  }
 
   try {
     // Load through either trace form; the profile needs the rank count up
     // front to build the default platform.
-    const tit::Trace trace = titio::is_binary_trace(trace_path)
-                                 ? titio::read_binary_trace(trace_path)
-                                 : tit::load_trace(trace_path, np);
+    tit::Trace trace = titio::is_binary_trace(trace_path)
+                           ? titio::read_binary_trace(trace_path)
+                           : tit::load_trace(trace_path, np);
+    const int nprocs = trace.nprocs();
+    const std::size_t total_actions = trace.total_actions();
 
     platform::Platform platform;
     if (platform_file.empty()) {
@@ -150,14 +227,52 @@ int main(int argc, char** argv) {
 
     core::ReplayResult result;
     std::string failure;
-    try {
-      result = use_msg ? core::replay_msg(trace, platform, cfg)
-                       : core::replay_smpi(trace, platform, cfg);
-    } catch (const SimError& e) {
-      // Wedged replay: the timeline up to the wedge point plus the per-rank
-      // diagnosis is exactly what the profile is for.  Finish the profile,
-      // then report the failure through the exit status.
-      failure = e.what();
+    std::string window_note;
+    std::vector<std::vector<obs::Interval>> window_timelines;
+    if (windowed) {
+      // Windowed mode: fork the replay from the checkpoint nearest -from.
+      // A TITB v2 trace may already carry checkpoints for this scenario
+      // (adopt_file validates prefix hashes); otherwise record them now.
+      const bool is_titb = titio::is_binary_trace(trace_path);
+      core::ReplayConfig recording_cfg = cfg;
+      recording_cfg.sink = nullptr;
+      ckpt::ReplayCursor cursor(titio::SharedTrace(std::move(trace)), platform, recording_cfg,
+                                use_msg ? core::Backend::Msg : core::Backend::Smpi);
+      const std::size_t adopted = is_titb ? cursor.adopt_file(trace_path) : 0;
+      if (adopted == 0) {
+        cursor.record();
+        if (save_ckpt) {
+          if (is_titb) {
+            cursor.save(trace_path);
+          } else {
+            std::fprintf(stderr, "[tir-profile] -save-ckpt ignored: %s is not a .titb file\n",
+                         trace_path.c_str());
+          }
+        }
+      }
+      cursor.seek(from);
+      window_note = std::to_string(cursor.checkpoints().checkpoints.size()) +
+                    " checkpoint(s) " + (adopted != 0 ? "adopted" : "recorded") +
+                    ", snapshot at " + std::to_string(cursor.position()) + " s";
+      try {
+        result = cursor.run_until(to, &timeline);
+      } catch (const SimError& e) {
+        failure = e.what();
+      }
+      window_timelines.resize(static_cast<std::size_t>(nprocs));
+      for (int r = 0; r < nprocs && r < timeline.nranks(); ++r) {
+        window_timelines[static_cast<std::size_t>(r)] = obs::slice(timeline.intervals(r), from, to);
+      }
+    } else {
+      try {
+        result = use_msg ? core::replay_msg(trace, platform, cfg)
+                         : core::replay_smpi(trace, platform, cfg);
+      } catch (const SimError& e) {
+        // Wedged replay: the timeline up to the wedge point plus the per-rank
+        // diagnosis is exactly what the profile is for.  Finish the profile,
+        // then report the failure through the exit status.
+        failure = e.what();
+      }
     }
 
     const obs::MetricsReport report =
@@ -168,9 +283,12 @@ int main(int argc, char** argv) {
     obs::write_json(report, out_base + ".json");
 
     std::printf("trace            : %s (%d processes, %zu actions)\n", trace_path.c_str(),
-                trace.nprocs(), trace.total_actions());
+                nprocs, total_actions);
     std::printf("backend          : %s%s\n", use_msg ? "msg (old)" : "smpi (new)",
                 contention ? " + contention" : "");
+    if (windowed) {
+      std::printf("window           : [%.6f, %.6f] s (%s)\n", from, to, window_note.c_str());
+    }
     if (failure.empty()) {
       std::printf("simulated time   : %.6f s\n", report.simulated_time);
       std::printf("replay wall-clock: %.3f s\n", result.wall_clock_seconds);
@@ -183,6 +301,7 @@ int main(int argc, char** argv) {
                   report.simulated_time, report.diagnoses.size());
     }
     print_rank_table(report, path);
+    if (windowed) print_window_table(window_timelines, from, to);
     print_collectives(report);
     print_links(report);
     std::printf("\ntimeline -> %s.paje (open with ViTE)\nmetrics  -> %s.json\n",

@@ -18,12 +18,17 @@
 #include "base/units.hpp"
 #include "tit/trace.hpp"
 #include "tit/validate.hpp"
+#include "titio/ckpt_records.hpp"
 #include "titio/reader.hpp"
 #include "titio/shared.hpp"
 
 namespace {
 
 using namespace tir;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s TRACE_MANIFEST|TRACE.titb [NPROCS]\n", argv0);
+}
 
 /// One slot per tit::ActionType, in enum order (Init .. Scatter).
 constexpr std::size_t kTypeCount = static_cast<std::size_t>(tit::ActionType::Scatter) + 1;
@@ -116,8 +121,8 @@ void print_summary(const Summary& s) {
 
 int inspect_binary(const std::string& path) {
   titio::Reader reader(path);
-  std::printf("trace    : %s (TITB binary, %zu frames)\n", path.c_str(),
-              reader.frame_count());
+  std::printf("trace    : %s (TITB v%u binary, %zu frames)\n", path.c_str(),
+              static_cast<unsigned>(reader.version()), reader.frame_count());
   std::printf("processes: %d\n", reader.nprocs());
   // The service cache key (docs/service.md): frame CRCs folded in file order.
   std::printf("hash     : %016llx (titb frame-CRC content hash)\n",
@@ -133,6 +138,23 @@ int inspect_binary(const std::string& path) {
 
   titio::Reader(path).verify();
   std::printf("\nintegrity: all %zu frame CRCs ok\n", reader.frame_count());
+
+  // v2 files may carry checkpoint records (docs/trace_format.md): one block
+  // per recorded scenario, each a sequence of consistent-cut snapshots.
+  if (reader.ckpt_offset() != 0) {
+    const std::vector<titio::CheckpointBlock> blocks = titio::read_checkpoints(path);
+    std::printf("\ncheckpoint blocks (%zu scenario(s)):\n", blocks.size());
+    for (const titio::CheckpointBlock& b : blocks) {
+      std::printf("  scenario %016llx: %d rank(s), %zu checkpoint(s)",
+                  static_cast<unsigned long long>(b.fingerprint), b.nprocs,
+                  b.checkpoints.size());
+      if (!b.checkpoints.empty()) {
+        std::printf(" spanning [%.6f, %.6f] s", b.checkpoints.front().time,
+                    b.checkpoints.back().time);
+      }
+      std::printf("\n");
+    }
+  }
   return 0;
 }
 
@@ -160,13 +182,39 @@ int inspect_text(const std::string& path, int np) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s TRACE_MANIFEST|TRACE.titb [NPROCS]\n", argv[0]);
+  std::vector<std::string> positionals;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    positionals.push_back(arg);
+  }
+  if (positionals.empty() || positionals.size() > 2) {
+    if (positionals.size() > 2) {
+      std::fprintf(stderr, "%s: unexpected extra argument '%s'\n", argv[0],
+                   positionals[2].c_str());
+    }
+    usage(argv[0]);
     return 2;
   }
+  int np = -1;
+  if (positionals.size() == 2) {
+    char* end = nullptr;
+    const long v = std::strtol(positionals[1].c_str(), &end, 10);
+    if (end == positionals[1].c_str() || *end != '\0' || v <= 0) {
+      std::fprintf(stderr, "%s: NPROCS must be a positive integer, got '%s'\n", argv[0],
+                   positionals[1].c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    np = static_cast<int>(v);
+  }
   try {
-    if (titio::is_binary_trace(argv[1])) return inspect_binary(argv[1]);
-    return inspect_text(argv[1], argc > 2 ? std::atoi(argv[2]) : -1);
+    if (titio::is_binary_trace(positionals[0])) return inspect_binary(positionals[0]);
+    return inspect_text(positionals[0], np);
   } catch (const Error& e) {
     std::fprintf(stderr, "trace_inspect: %s\n", e.what());
     return 1;

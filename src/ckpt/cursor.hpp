@@ -1,0 +1,126 @@
+// ReplayCursor: random access into a replay's timeline.
+//
+// A cursor binds one immutable trace to one scenario (platform + config +
+// backend) and lets callers jump around simulated time without paying a
+// full cold replay per query:
+//
+//   ReplayCursor cursor(trace, platform, config, backend);
+//   cursor.record();                 // one cold replay, checkpoints on the way
+//   cursor.save("app.titb");         //   ... persisted into the TITB v2 file
+//   // or, next process:
+//   cursor.adopt_file("app.titb");   // reuse previously recorded checkpoints
+//   cursor.seek(120.0);              // cheap: picks the snapshot <= 120 s
+//   auto q = cursor.query(120, 125); // re-replays only [snapshot, 125]
+//
+// Every run builds a FRESH session (fresh engine, fresh source cursor)
+// seeded from the seeked snapshot via core::ResumeState — the engine is
+// single-shot, which is what makes a stopped run's timeline exact (see
+// sim::Engine::run_until).  Correctness bar: seek-then-replay is bitwise
+// identical to cold replay — times, windowed timelines — enforced by the
+// differential suite (tests/ckpt) on both back-ends.
+//
+// window_sweep is the sweep-shaped consumer: N scenarios over one trace,
+// each asked for the same time window.  Scenarios with identical
+// fingerprints share one recording (the "fork from a warm snapshot"
+// optimization); the sweep itself is the unchanged core::sweep.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/sweep.hpp"
+#include "obs/timeline.hpp"
+#include "titio/shared.hpp"
+
+namespace tir::ckpt {
+
+/// A windowed extraction: the run's result plus per-rank timelines sliced
+/// to [from, to] (obs::slice semantics; bitwise-equal to slicing a cold
+/// replay's full timeline).
+struct QueryResult {
+  core::ReplayResult result;
+  double from = 0.0;
+  double to = 0.0;
+  std::vector<std::vector<obs::Interval>> timelines;  ///< per rank
+};
+
+class ReplayCursor {
+ public:
+  /// The platform is borrowed and must outlive the cursor; trace and config
+  /// are captured by value (SharedTrace is a cheap shared handle).
+  ReplayCursor(titio::SharedTrace trace, const platform::Platform& platform,
+               core::ReplayConfig config, core::Backend backend = core::Backend::Smpi);
+
+  int nprocs() const { return trace_.nprocs(); }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  const CheckpointSet& checkpoints() const { return set_; }
+
+  /// One cold replay that records checkpoints (replaces any held set).
+  /// Throws ConfigError when the scenario is not seekable (check_seekable).
+  core::ReplayResult record(const RecordOptions& options = {});
+
+  /// Adopt previously recorded checkpoints: the fingerprint must match this
+  /// cursor's scenario (ConfigError otherwise); each checkpoint's per-rank
+  /// prefix hashes are re-validated against the trace, so checkpoints
+  /// recorded before a tail append still adopt cleanly while any that
+  /// disagree with the actions are dropped (with a Warn log).  Returns how
+  /// many checkpoints were adopted.
+  std::size_t adopt(const CheckpointSet& set);
+
+  /// Adopt the matching block of a TITB v2 file (0 when none matches).
+  std::size_t adopt_file(const std::string& path);
+
+  /// Persist the held checkpoints into a TITB file (titio::append_checkpoints).
+  void save(const std::string& path) const;
+
+  /// Seat the cursor on the latest snapshot with time <= t (cheap; no
+  /// replay happens until run_until/query).  With no qualifying snapshot
+  /// the cursor is cold (replays from action 0).
+  void seek(double t);
+  /// Back to cold.
+  void reset() { current_ = nullptr; }
+  /// Time of the seated snapshot (0 when cold).
+  double position() const { return current_ != nullptr ? current_->time : 0.0; }
+
+  /// Replay from the seated snapshot until the next event would pass `t`
+  /// (fresh single-shot session; `sink` observes the suffix only).
+  core::ReplayResult run_until(double t, obs::Sink* sink = nullptr);
+  /// Replay from the seated snapshot to quiescence.
+  core::ReplayResult run_to_end(obs::Sink* sink = nullptr);
+
+  /// seek(from) + run_until(to) + slice: the windowed timeline/metrics
+  /// extraction.  Throws tir::Error on an inverted window.
+  QueryResult query(double from, double to);
+
+ private:
+  core::ReplayResult run(double stop_time, obs::Sink* sink);
+
+  titio::SharedTrace trace_;
+  const platform::Platform& platform_;
+  core::ReplayConfig config_;
+  core::Backend backend_;
+  std::uint64_t fingerprint_ = 0;
+  CheckpointSet set_;
+  const TraceCheckpoint* current_ = nullptr;  ///< points into set_
+};
+
+/// Sweep-shaped windowed extraction: replay every scenario of the grid but
+/// only materialize the window [from, to].  Scenarios with identical
+/// scenario fingerprints share ONE checkpoint recording (recorded up to
+/// `to` and no further) and each forks its windowed run from the warm
+/// snapshot nearest `from`; scenarios that are not seekable
+/// (check_seekable) silently fall back to a cold windowed replay.  The
+/// replays themselves go through the unchanged core::sweep worker pool
+/// (options.jobs etc. apply); each scenario's config.sink/resume/stop_time
+/// are overridden by this function.
+struct WindowSweepResult {
+  std::vector<core::ScenarioOutcome> outcomes;  ///< input order, as core::sweep
+  std::vector<QueryResult> windows;             ///< sliced timelines (ok cells)
+};
+WindowSweepResult window_sweep(const titio::SharedTrace& trace,
+                               const std::vector<core::Scenario>& scenarios, double from,
+                               double to, const core::SweepOptions& options = {});
+
+}  // namespace tir::ckpt

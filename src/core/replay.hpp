@@ -21,6 +21,10 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "base/error.hpp"
@@ -32,6 +36,35 @@
 #include "titio/source.hpp"
 
 namespace tir::core {
+
+/// A consistent cut of a previous replay of the same scenario: where to
+/// reposition each rank's action cursor and when its suffix resumes.
+/// Produced by the checkpoint layer (src/ckpt); the replay engines only
+/// consume it — seek the source, restore each rank's collective-site
+/// counter, and sleep each rank to its boundary time before pulling the
+/// first suffix action.
+struct ResumeState {
+  double time = 0.0;                            ///< cut time (max rank time)
+  std::vector<std::uint64_t> positions;         ///< actions completed, per rank
+  std::vector<double> times;                    ///< boundary time, per rank
+  std::vector<std::uint64_t> collective_sites;  ///< collective sites passed
+};
+
+/// Once-per-key warning gate shared across replay sessions (a sweep
+/// replays one trace under N configs; config warnings would otherwise
+/// repeat N times).  Thread-safe: sweep workers share one instance.
+class WarningDedupe {
+ public:
+  /// True exactly once per distinct warning text.
+  bool first(const std::string& text) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return seen_.insert(text).second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::set<std::string> seen_;
+};
 
 struct ReplayConfig {
   /// Calibrated instruction rate (instr/s); one entry = uniform, or one per
@@ -57,6 +90,22 @@ struct ReplayConfig {
   /// and exists as the reference for differential tests and benchmarks —
   /// both produce bit-identical predictions.
   sim::Resolve resolve = sim::Resolve::Incremental;
+
+  /// Resume from a checkpoint instead of replaying from action 0 (src/ckpt
+  /// produces these; null replays cold).  Not owned, must outlive the call.
+  /// The source must be seekable (titio::ActionSource::seek).
+  const ResumeState* resume = nullptr;
+
+  /// Stop the simulation once the next event would fire past this time
+  /// (events exactly at stop_time still fire).  A stopped replay reports
+  /// reached_end = false and simulated_time = stop_time.  Default: run to
+  /// quiescence.
+  double stop_time = std::numeric_limits<double>::infinity();
+
+  /// Cross-session warning gate: when set, each distinct config warning is
+  /// logged/sinked once per dedupe instance rather than once per session
+  /// (core::sweep installs one per sweep).  Not owned.
+  WarningDedupe* warning_dedupe = nullptr;
 
   /// Cross-check the config against the trace before spawning anything:
   /// a per-rank rate vector must cover every rank (throws ConfigError
@@ -88,6 +137,9 @@ struct ReplayResult {
   /// this before trusting simulated_time.
   std::uint64_t skipped_actions = 0;
   bool degraded = false;
+  /// False when the run stopped on ReplayConfig::stop_time before reaching
+  /// quiescence (simulated_time is then the stop time, not the prediction).
+  bool reached_end = true;
 };
 
 /// The two replay back-ends as a runtime-selectable value: what a sweep

@@ -104,6 +104,14 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
   ctx.set_diagnoser([&diag] { return describe_rank(diag); });
   obs::Sink* const sink = config.sink;  // hoisted: one load, no per-action deref
   std::int64_t collective_site = 0;     // same numbering as the static validator
+  if (config.resume != nullptr) {
+    // Checkpoint restore: adopt the prefix's collective-site numbering and
+    // hold this rank at its boundary time before the first suffix action.
+    collective_site =
+        static_cast<std::int64_t>(config.resume->collective_sites[static_cast<std::size_t>(me)]);
+    const double t = config.resume->times[static_cast<std::size_t>(me)];
+    if (t > 0.0) co_await ctx.sleep(t);
+  }
   tit::Action a;
   while (source.next(me, a)) {
     ++actions;

@@ -55,6 +55,15 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
   RankDiag diag;
   ctx.set_diagnoser([&diag] { return describe_rank(diag); });
   obs::Sink* const sink = config.sink;  // hoisted: one load, no per-action deref
+  if (config.resume != nullptr) {
+    // Checkpoint restore: the prefix already ran.  Adopt its collective-site
+    // numbering and hold this rank at its boundary time before pulling the
+    // first suffix action (timer 0 + t is exact, so every resumed phase
+    // begins at a bitwise-identical simulated time).
+    diag.collective_site = config.resume->collective_sites[static_cast<std::size_t>(me)];
+    const double t = config.resume->times[static_cast<std::size_t>(me)];
+    if (t > 0.0) co_await ctx.sleep(t);
+  }
   tit::Action a;
   while (source.next(me, a)) {
     ++actions;

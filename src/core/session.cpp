@@ -23,8 +23,10 @@ void ReplayConfig::check(int nprocs) const {
         std::to_string(nprocs) + " ranks; the extra " +
         std::to_string(rates.size() - static_cast<std::size_t>(nprocs)) +
         " entrie(s) are unreachable (miswired heterogeneous calibration?)";
-    TIR_LOG(Warn, text);
-    if (sink != nullptr) sink->on_warning(text);
+    if (warning_dedupe == nullptr || warning_dedupe->first(text)) {
+      TIR_LOG(Warn, text);
+      if (sink != nullptr) sink->on_warning(text);
+    }
   }
 }
 
@@ -35,6 +37,18 @@ ReplaySession::ReplaySession(titio::ActionSource& source, const platform::Platfo
       t0_(std::chrono::steady_clock::now()),
       nprocs_(source.nprocs()) {
   config_.check(nprocs_);
+  if (config_.resume != nullptr) {
+    const ResumeState& r = *config_.resume;
+    if (r.positions.size() != static_cast<std::size_t>(nprocs_) ||
+        r.times.size() != r.positions.size() ||
+        r.collective_sites.size() != r.positions.size()) {
+      throw ConfigError("resume state covers " + std::to_string(r.positions.size()) +
+                        " ranks, trace has " + std::to_string(nprocs_));
+    }
+    // seek() also arms the source so begin_session() below does not rewind
+    // the cursors back to 0.
+    source_.seek(r.positions);
+  }
   source_.begin_session();
   engine_ = std::make_unique<sim::Engine>(
       platform,
@@ -43,8 +57,8 @@ ReplaySession::ReplaySession(titio::ActionSource& source, const platform::Platfo
 }
 
 ReplayResult ReplaySession::finish() {
-  engine_->run();
   ReplayResult result;
+  result.reached_end = engine_->run_until(config_.stop_time);
   result.simulated_time = engine_->now();
   result.actions_replayed = actions_;
   result.engine_steps = engine_->steps();

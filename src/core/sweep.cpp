@@ -23,7 +23,8 @@ namespace {
 /// Run one scenario to a finished outcome.  Every failure mode of a session
 /// is funneled into the outcome instead of escaping: tir::Error keeps its
 /// taxonomy code, anything else std::exception-shaped becomes Generic.
-ScenarioOutcome run_scenario(const titio::SharedTrace& trace, const Scenario& scenario) {
+ScenarioOutcome run_scenario(const titio::SharedTrace& trace, const Scenario& scenario,
+                             WarningDedupe& dedupe) {
   ScenarioOutcome outcome;
   outcome.label = scenario.label;
   try {
@@ -31,7 +32,12 @@ ScenarioOutcome run_scenario(const titio::SharedTrace& trace, const Scenario& sc
       throw ConfigError("sweep scenario '" + scenario.label + "' has a null platform");
     }
     titio::SharedTrace::Cursor cursor = trace.cursor();
-    outcome.result = replay(scenario.backend, cursor, *scenario.platform, scenario.config);
+    // Scenarios sharing one config would repeat every config warning once
+    // per scenario; the sweep-owned dedupe reports each distinct warning
+    // once per sweep.  A scenario that installed its own gate keeps it.
+    ReplayConfig config = scenario.config;
+    if (config.warning_dedupe == nullptr) config.warning_dedupe = &dedupe;
+    outcome.result = replay(scenario.backend, cursor, *scenario.platform, config);
     outcome.ok = true;
   } catch (const Error& e) {
     outcome.error = e.what();
@@ -58,6 +64,7 @@ std::vector<ScenarioOutcome> sweep(const titio::SharedTrace& trace,
   // Claim-by-atomic-index loop shared by the inline and the threaded paths;
   // each scenario is owned by exactly one worker end to end, so outcomes[i]
   // is written by a single thread and published by the join below.
+  WarningDedupe warning_dedupe;
   std::atomic<std::size_t> next{0};
   const auto drain = [&] {
     for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < scenarios.size();
@@ -70,7 +77,7 @@ std::vector<ScenarioOutcome> sweep(const titio::SharedTrace& trace,
         outcomes[i].error = "cancelled before start (deadline expired or sweep cancelled)";
         outcomes[i].error_code = ErrorCode::Cancelled;
       } else {
-        outcomes[i] = run_scenario(trace, scenarios[i]);
+        outcomes[i] = run_scenario(trace, scenarios[i], warning_dedupe);
       }
       if (options.on_scenario_done) options.on_scenario_done(i, outcomes[i]);
     }

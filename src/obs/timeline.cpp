@@ -75,6 +75,15 @@ void TimelineSink::on_phase_begin(const PhaseEvent& e, double now) {
   RankRec& r = rank_rec(e.rank);
   TIR_ASSERT(!r.open);
   TIR_ASSERT(r.intervals.empty() || r.intervals.back().end <= now);
+  if (r.intervals.empty() && now > 0.0) {
+    // First phase starts past t=0: a resumed replay (ckpt restore) skipped
+    // the prefix.  Fill the gap so the timeline still tiles [0, end].
+    Interval gap;
+    gap.state = RankState::Idle;
+    gap.begin = 0.0;
+    gap.end = now;
+    r.intervals.push_back(gap);
+  }
   Interval iv;
   iv.state = e.state;
   iv.begin = now;
@@ -139,6 +148,30 @@ const std::string& TimelineSink::rank_name(int rank) const {
 platform::HostId TimelineSink::rank_host(int rank) const {
   TIR_ASSERT(rank >= 0 && static_cast<std::size_t>(rank) < ranks_.size());
   return ranks_[static_cast<std::size_t>(rank)].host;
+}
+
+std::vector<Interval> slice(const std::vector<Interval>& intervals, double from, double to) {
+  if (to < from) throw Error("timeline slice window is inverted: [" + std::to_string(from) +
+                             ", " + std::to_string(to) + "]");
+  std::vector<Interval> out;
+  for (const Interval& iv : intervals) {
+    if (iv.begin == iv.end) {
+      // Zero-width events (eager isends) carry data but no time.  An event
+      // exactly at `from` belongs to the prefix: a resumed replay completed
+      // it before the snapshot and never re-emits it, so the cold slice
+      // drops it too — except at from == 0, where there is no prefix.
+      // Symmetrically an event exactly at `to` is dropped (it belongs to
+      // the next window).  Seam events are invisible by construction.
+      if ((iv.begin > from || from == 0.0) && iv.begin < to) out.push_back(iv);
+      continue;
+    }
+    if (iv.begin >= to || iv.end <= from) continue;
+    Interval clipped = iv;
+    clipped.begin = std::max(iv.begin, from);
+    clipped.end = std::min(iv.end, to);
+    out.push_back(clipped);
+  }
+  return out;
 }
 
 }  // namespace tir::obs

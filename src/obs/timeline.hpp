@@ -136,4 +136,13 @@ class TimelineSink : public Sink {
   bool finalized_ = false;
 };
 
+/// Clip a rank's interval sequence to the window [from, to]: intervals
+/// overlapping the window are kept with begin/end clamped to it; the rest
+/// are dropped.  Zero-width intervals (eager isends) are kept only when
+/// strictly inside the window — an event exactly at `from` (unless from is
+/// 0) or exactly at `to` belongs to the neighboring window and is dropped,
+/// which is what makes a resumed replay's sliced timeline bit-identical to
+/// the cold one's (src/ckpt).  Throws tir::Error when to < from.
+std::vector<Interval> slice(const std::vector<Interval>& intervals, double from, double to);
+
 }  // namespace tir::obs

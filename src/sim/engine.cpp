@@ -97,9 +97,12 @@ void Engine::on_actor_done(int actor_index, std::exception_ptr exception) {
   if (config_.sink != nullptr) config_.sink->on_actor_done(actor_index, now_);
 }
 
-void Engine::run() {
+void Engine::run() { run_until(kInf); }
+
+bool Engine::run_until(double stop_time) {
   TIR_ASSERT(!running_loop_);
   running_loop_ = true;
+  bool stopped = false;
   const auto start = std::chrono::steady_clock::now();
   try {
     while (true) {
@@ -114,6 +117,15 @@ void Engine::run() {
       // Only non-progressing activities (gates) left running, or every
       // projected completion is at infinity: nothing can ever fire.
       if (heap_.empty() || heap_.top_key() == kInf) report_deadlock();
+      if (heap_.top_key() > stop_time) {
+        // Time bound reached: everything at or before stop_time has fired.
+        // Land the clock exactly on the bound so the sink's closing event
+        // clips open phases at stop_time, matching a cold replay's timeline
+        // sliced to the same bound.
+        stopped = true;
+        now_ = stop_time;
+        break;
+      }
       advance_to(heap_.top_key());
     }
     if (config_.sink != nullptr) config_.sink->on_sim_end(now_);
@@ -126,6 +138,7 @@ void Engine::run() {
   }
   running_loop_ = false;
   if (first_error_) std::rethrow_exception(first_error_);
+  return !stopped;
 }
 
 void Engine::check_watchdog(const std::chrono::steady_clock::time_point& start) const {

@@ -151,6 +151,15 @@ class Engine {
   /// rethrows the first actor exception.
   void run();
 
+  /// Run until every actor finished OR the next event would fire past
+  /// `stop_time` (events exactly at stop_time still fire).  Returns true
+  /// when the simulation is quiescent (everything finished), false when it
+  /// stopped on the time bound — in which case now() is advanced to
+  /// stop_time so the sink's on_sim_end closes open phases at the bound.
+  /// Windowed replay (ckpt::ReplayCursor) runs each engine at most once,
+  /// so the now() bump never skews a later resume.
+  bool run_until(double stop_time);
+
   // --- activity construction (used by Ctx and the msg/smpi layers) --------
   /// Asynchronous execution of `instructions` at `rate` instr/s on a core.
   ActivityPtr start_exec(platform::HostId host, int core, double instructions, double rate);

@@ -63,6 +63,9 @@ class PiecewiseModel {
 
   bool is_identity() const { return segments_.empty(); }
 
+  /// The raw segments (scenario fingerprinting, src/ckpt).
+  const std::vector<PiecewiseSegment>& segments() const { return segments_; }
+
  private:
   std::vector<PiecewiseSegment> segments_;
 };

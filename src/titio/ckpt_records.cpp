@@ -1,0 +1,218 @@
+#include "titio/ckpt_records.hpp"
+
+#include <bit>
+#include <filesystem>
+#include <fstream>
+
+#include "base/binio.hpp"
+#include "base/error.hpp"
+#include "base/log.hpp"
+#include "titio/format.hpp"
+#include "titio/reader.hpp"
+
+namespace tir::titio {
+
+namespace {
+
+constexpr std::uint64_t kCkptPayloadVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t take_u64(const std::vector<std::uint8_t>& payload, std::size_t& pos) {
+  if (pos + 8 > payload.size()) throw ParseError("checkpoint payload truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(payload[pos + i]) << (8 * i);
+  pos += 8;
+  return v;
+}
+
+double take_f64(const std::vector<std::uint8_t>& payload, std::size_t& pos) {
+  return std::bit_cast<double>(take_u64(payload, pos));
+}
+
+void validate_block(const CheckpointBlock& block) {
+  if (block.nprocs <= 0) {
+    throw Error("checkpoint block needs nprocs > 0, got " + std::to_string(block.nprocs));
+  }
+  for (const TraceCheckpoint& c : block.checkpoints) {
+    if (c.ranks.size() != static_cast<std::size_t>(block.nprocs)) {
+      throw Error("checkpoint has " + std::to_string(c.ranks.size()) +
+                  " rank states, block says nprocs=" + std::to_string(block.nprocs));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint_payload(const std::vector<CheckpointBlock>& blocks) {
+  std::vector<std::uint8_t> out;
+  binio::put_varint(out, kCkptPayloadVersion);
+  for (const CheckpointBlock& block : blocks) {
+    validate_block(block);
+    put_u64(out, block.fingerprint);
+    binio::put_varint(out, static_cast<std::uint64_t>(block.nprocs));
+    binio::put_varint(out, block.checkpoints.size());
+    for (const TraceCheckpoint& c : block.checkpoints) {
+      put_f64(out, c.time);
+      for (const CkptRankState& r : c.ranks) {
+        binio::put_varint(out, r.position);
+        put_f64(out, r.time);
+        binio::put_varint(out, r.collective_sites);
+        put_u64(out, r.prefix_hash);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CheckpointBlock> decode_checkpoint_payload(const std::vector<std::uint8_t>& payload) {
+  std::vector<CheckpointBlock> blocks;
+  std::size_t pos = 0;
+  const std::uint64_t version = binio::get_varint(payload.data(), payload.size(), pos);
+  if (version != kCkptPayloadVersion) {
+    throw ParseError("unsupported checkpoint payload version " + std::to_string(version));
+  }
+  // Blocks are self-delimiting: decode until the payload is exhausted.
+  while (pos < payload.size()) {
+    CheckpointBlock block;
+    block.fingerprint = take_u64(payload, pos);
+    const std::uint64_t nprocs = binio::get_varint(payload.data(), payload.size(), pos);
+    if (nprocs == 0 || nprocs > 0x7FFFFFFFu) {
+      throw ParseError("bad checkpoint block nprocs " + std::to_string(nprocs));
+    }
+    block.nprocs = static_cast<int>(nprocs);
+    const std::uint64_t count = binio::get_varint(payload.data(), payload.size(), pos);
+    block.checkpoints.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      TraceCheckpoint c;
+      c.time = take_f64(payload, pos);
+      c.ranks.resize(static_cast<std::size_t>(nprocs));
+      for (CkptRankState& r : c.ranks) {
+        r.position = binio::get_varint(payload.data(), payload.size(), pos);
+        r.time = take_f64(payload, pos);
+        r.collective_sites = binio::get_varint(payload.data(), payload.size(), pos);
+        r.prefix_hash = take_u64(payload, pos);
+      }
+      block.checkpoints.push_back(std::move(c));
+    }
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+std::vector<CheckpointBlock> read_checkpoints(Reader& reader) {
+  const std::vector<std::uint8_t> payload = reader.read_checkpoint_payload();
+  if (payload.empty()) return {};
+  try {
+    return decode_checkpoint_payload(payload);
+  } catch (const ParseError& e) {
+    TIR_LOG(Warn, std::string("ignoring undecodable checkpoint payload (") + e.what() +
+                      "); seeks fall back to cold replay");
+    return {};
+  }
+}
+
+std::vector<CheckpointBlock> read_checkpoints(const std::string& path) {
+  Reader reader(path);
+  return read_checkpoints(reader);
+}
+
+void append_checkpoints(const std::string& path, const std::vector<CheckpointBlock>& blocks) {
+  if (blocks.empty()) return;
+  for (const CheckpointBlock& block : blocks) validate_block(block);
+
+  std::uint16_t version = 0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t ckpt_offset = 0;
+  std::uint64_t total_actions = 0;
+  std::vector<CheckpointBlock> merged;
+  {
+    // Validates header/footer/index and collects what the tail rewrite
+    // needs.  A damaged existing checkpoint frame degrades to empty here,
+    // so the rewrite below also heals corrupt checkpoint tails.
+    Reader reader(path);
+    version = reader.version();
+    index_offset = reader.index_offset();
+    ckpt_offset = reader.ckpt_offset();
+    total_actions = reader.total_actions();
+    merged = read_checkpoints(reader);
+  }
+  for (const CheckpointBlock& block : blocks) {
+    bool replaced = false;
+    for (CheckpointBlock& have : merged) {
+      if (have.fingerprint == block.fingerprint) {
+        have = block;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) merged.push_back(block);
+  }
+
+  const std::size_t footer_bytes = version == kVersionV1 ? kFooterBytesV1 : kFooterBytesV2;
+  const std::uint64_t file_size = std::filesystem::file_size(path);
+
+  std::fstream io(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!io) throw Error("cannot open binary trace for checkpoint append: " + path);
+
+  // The index payload references action-frame offsets only, and those never
+  // move — copy the index frame verbatim to its new position.
+  std::vector<std::uint8_t> index_raw(
+      static_cast<std::size_t>(file_size - footer_bytes - index_offset));
+  io.seekg(static_cast<std::streamoff>(index_offset));
+  io.read(reinterpret_cast<char*>(index_raw.data()),
+          static_cast<std::streamsize>(index_raw.size()));
+  if (io.gcount() != static_cast<std::streamsize>(index_raw.size())) {
+    throw Error("cannot read index frame for checkpoint append: " + path);
+  }
+
+  const std::uint64_t rewrite_pos = ckpt_offset != 0 ? ckpt_offset : index_offset;
+  const std::vector<std::uint8_t> payload = encode_checkpoint_payload(merged);
+  std::vector<std::uint8_t> tail;
+  tail.push_back(kCheckpointFrame);
+  binio::put_varint(tail, merged.size());
+  binio::put_varint(tail, merged.size());
+  binio::put_varint(tail, payload.size());
+  tail.insert(tail.end(), payload.begin(), payload.end());
+  put_u32(tail, binio::crc32(payload.data(), payload.size()));
+  const std::uint64_t new_index_offset = rewrite_pos + tail.size();
+  tail.insert(tail.end(), index_raw.begin(), index_raw.end());
+  put_u64(tail, new_index_offset);
+  put_u64(tail, rewrite_pos);  // ckpt_offset of the v2 footer
+  put_u64(tail, total_actions);
+  put_u32(tail, kEndMagic);
+
+  io.seekp(static_cast<std::streamoff>(rewrite_pos));
+  io.write(reinterpret_cast<const char*>(tail.data()), static_cast<std::streamsize>(tail.size()));
+  if (version == kVersionV1) {
+    // Upgrade in place: only the version field changes, after the v2 tail
+    // is fully written.
+    std::vector<std::uint8_t> v2;
+    put_u16(v2, kVersion);
+    io.seekp(4);
+    io.write(reinterpret_cast<const char*>(v2.data()), static_cast<std::streamsize>(v2.size()));
+  }
+  io.flush();
+  if (!io) throw Error("checkpoint append failed on binary trace: " + path);
+  io.close();
+
+  const std::uint64_t new_size = rewrite_pos + tail.size();
+  if (new_size < file_size) std::filesystem::resize_file(path, new_size);
+}
+
+}  // namespace tir::titio

@@ -1,14 +1,26 @@
-// The TITB binary Time-Independent Trace format, version 1.
+// The TITB binary Time-Independent Trace format, version 2.
 //
 // Layout (all fixed-width integers little-endian):
 //
-//   File        := Header ActionFrame* IndexFrame Footer
+//   File        := Header ActionFrame* [CheckpointFrame] IndexFrame Footer
 //   Header      := magic u32 ("TITB")  version u16  flags u16  nprocs u32
 //   ActionFrame := 'A' u8  rank varint  action_count varint
 //                  payload_size varint  payload  crc32(payload) u32
+//   CheckpointFrame := 'C' u8  block_count varint  block_count varint
+//                  payload_size varint  payload  crc32(payload) u32
 //   IndexFrame  := 'I' u8  entry_count varint  entry_count varint
 //                  payload_size varint  payload  crc32(payload) u32
-//   Footer      := index_offset u64  total_actions u64  end magic u32 ("TITE")
+//   Footer v1   := index_offset u64  total_actions u64  end magic u32 ("TITE")
+//   Footer v2   := index_offset u64  ckpt_offset u64  total_actions u64
+//                  end magic u32 ("TITE")
+//
+// Version 2 (docs/trace_format.md §version 2) adds the optional checkpoint
+// frame: replay snapshots (src/ckpt) keyed by scenario fingerprint, placed
+// between the last action frame and the index so every action offset — and
+// therefore Reader::content_hash — is unchanged by appending checkpoints.
+// ckpt_offset is 0 when the file carries no checkpoints.  Readers accept
+// both versions; a v1 file is upgraded in place by rewriting its tail
+// (checkpoint frame + index + v2 footer) and patching the header version.
 //
 // An action-frame payload is a run of actions of ONE rank, so the issuing
 // rank is stored once per frame rather than once per action.  Each index
@@ -38,13 +50,18 @@ namespace tir::titio {
 
 inline constexpr std::uint32_t kMagic = 0x42544954u;     ///< "TITB" as LE bytes
 inline constexpr std::uint32_t kEndMagic = 0x45544954u;  ///< "TITE" as LE bytes
-inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kVersion = 2;
+inline constexpr std::uint16_t kVersionV1 = 1;  ///< still readable (no ckpt frame)
 
 inline constexpr std::uint8_t kActionFrame = 'A';
 inline constexpr std::uint8_t kIndexFrame = 'I';
+inline constexpr std::uint8_t kCheckpointFrame = 'C';
 
 inline constexpr std::size_t kHeaderBytes = 12;
-inline constexpr std::size_t kFooterBytes = 20;
+inline constexpr std::size_t kFooterBytesV1 = 20;
+inline constexpr std::size_t kFooterBytesV2 = 28;
+/// Smallest footer either version can have (used for minimum-size checks).
+inline constexpr std::size_t kFooterBytes = kFooterBytesV1;
 /// Upper bound of an encoded frame preamble: kind + three worst-case varints.
 inline constexpr std::size_t kMaxFramePreamble = 1 + 3 * 10;
 

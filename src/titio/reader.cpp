@@ -5,6 +5,7 @@
 
 #include "base/binio.hpp"
 #include "base/error.hpp"
+#include "base/log.hpp"
 
 namespace tir::titio {
 
@@ -49,10 +50,11 @@ Reader::Reader(const std::string& path, ReaderOptions options)
   if (get_u32(header.data()) != kMagic) {
     throw ParseError("not a TITB binary trace (bad magic): " + path);
   }
-  const std::uint16_t version = get_u16(header.data() + 4);
-  if (version != kVersion) {
-    throw ParseError("unsupported TITB version " + std::to_string(version) + " (expected " +
-                     std::to_string(kVersion) + "): " + path);
+  version_ = get_u16(header.data() + 4);
+  if (version_ != kVersion && version_ != kVersionV1) {
+    throw ParseError("unsupported TITB version " + std::to_string(version_) + " (expected " +
+                     std::to_string(kVersionV1) + " or " + std::to_string(kVersion) + "): " +
+                     path);
   }
   const std::uint32_t nprocs = get_u32(header.data() + 8);
   if (nprocs == 0 || nprocs > 0x7FFFFFFFu) {
@@ -60,25 +62,44 @@ Reader::Reader(const std::string& path, ReaderOptions options)
   }
   nprocs_ = static_cast<int>(nprocs);
 
-  std::array<std::uint8_t, kFooterBytes> footer{};
-  in_.seekg(static_cast<std::streamoff>(file_size_ - kFooterBytes));
-  in_.read(reinterpret_cast<char*>(footer.data()), footer.size());
+  // v1 footer: index_offset u64, total_actions u64, end magic u32.
+  // v2 footer: index_offset u64, ckpt_offset u64, total_actions u64, magic.
+  const std::size_t footer_bytes = version_ == kVersionV1 ? kFooterBytesV1 : kFooterBytesV2;
+  if (file_size_ < kHeaderBytes + footer_bytes) {
+    throw CorruptFrameError(
+        "binary trace too short for its footer (" + std::to_string(file_size_) +
+            " bytes): " + path,
+        file_size_);
+  }
+  std::array<std::uint8_t, kFooterBytesV2> footer{};
+  in_.seekg(static_cast<std::streamoff>(file_size_ - footer_bytes));
+  in_.read(reinterpret_cast<char*>(footer.data()), static_cast<std::streamsize>(footer_bytes));
   if (!in_) throw ParseError("cannot read binary trace footer: " + path);
-  if (get_u32(footer.data() + 16) != kEndMagic) {
+  if (get_u32(footer.data() + footer_bytes - 4) != kEndMagic) {
     // The footer is the resync anchor: without it there is no index and no
     // recovery, so this is a typed corruption even in recover mode.
     throw CorruptFrameError("truncated binary trace (missing end marker): " + path,
-                            file_size_ - kFooterBytes);
+                            file_size_ - footer_bytes);
   }
-  const std::uint64_t index_offset = get_u64(footer.data());
-  total_actions_ = get_u64(footer.data() + 8);
-  if (index_offset < kHeaderBytes || index_offset >= file_size_ - kFooterBytes) {
+  index_offset_ = get_u64(footer.data());
+  if (version_ == kVersionV1) {
+    total_actions_ = get_u64(footer.data() + 8);
+  } else {
+    ckpt_offset_ = get_u64(footer.data() + 8);
+    total_actions_ = get_u64(footer.data() + 16);
+  }
+  const std::uint64_t index_offset = index_offset_;
+  if (index_offset < kHeaderBytes || index_offset >= file_size_ - footer_bytes) {
     throw CorruptFrameError("corrupt index offset in binary trace: " + path,
-                            file_size_ - kFooterBytes);
+                            file_size_ - footer_bytes);
+  }
+  if (ckpt_offset_ != 0 && (ckpt_offset_ < kHeaderBytes || ckpt_offset_ >= index_offset)) {
+    throw CorruptFrameError("corrupt checkpoint offset in binary trace: " + path,
+                            file_size_ - footer_bytes);
   }
 
   // The index frame spans [index_offset, file_size - footer).
-  const std::size_t index_span = static_cast<std::size_t>(file_size_ - kFooterBytes - index_offset);
+  const std::size_t index_span = static_cast<std::size_t>(file_size_ - footer_bytes - index_offset);
   std::vector<std::uint8_t> raw(index_span);
   in_.seekg(static_cast<std::streamoff>(index_offset));
   in_.read(reinterpret_cast<char*>(raw.data()), static_cast<std::streamsize>(raw.size()));
@@ -377,6 +398,47 @@ std::uint64_t Reader::content_hash() {
     h = binio::mix64(h, have_crc ? crc : binio::mix64(frame.offset, frame.payload_bytes));
   }
   return h;
+}
+
+std::vector<std::uint8_t> Reader::read_checkpoint_payload() {
+  if (ckpt_offset_ == 0) return {};
+  // CheckpointFrame := 'C' u8, block_count varint (x2), payload_size varint,
+  // payload, crc32.  Never fatal: checkpoints only accelerate seeks, so any
+  // damage degrades to "no checkpoints" with a warning instead of throwing.
+  const auto fail = [this](const std::string& why) {
+    TIR_LOG(Warn, "ignoring damaged checkpoint frame in " + path_ + " (" + why +
+                      "); seeks fall back to cold replay");
+    return std::vector<std::uint8_t>{};
+  };
+  std::array<std::uint8_t, kMaxFramePreamble> preamble{};
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(ckpt_offset_));
+  const std::size_t want = std::min<std::size_t>(
+      preamble.size(), static_cast<std::size_t>(file_size_ - ckpt_offset_));
+  in_.read(reinterpret_cast<char*>(preamble.data()), static_cast<std::streamsize>(want));
+  if (in_.gcount() != static_cast<std::streamsize>(want)) return fail("truncated preamble");
+  std::size_t pos = 0;
+  if (preamble[pos++] != kCheckpointFrame) return fail("bad frame kind");
+  std::uint64_t blocks = 0, blocks2 = 0, payload_bytes = 0;
+  try {
+    blocks = binio::get_varint(preamble.data(), want, pos);
+    blocks2 = binio::get_varint(preamble.data(), want, pos);
+    payload_bytes = binio::get_varint(preamble.data(), want, pos);
+  } catch (const Error&) {
+    return fail("unreadable preamble");
+  }
+  if (blocks != blocks2) return fail("block count mismatch");
+  if (ckpt_offset_ + pos + payload_bytes + 4 > file_size_) return fail("payload out of bounds");
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_bytes) + 4);
+  in_.seekg(static_cast<std::streamoff>(ckpt_offset_ + pos));
+  in_.read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(payload.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(payload.size())) {
+    return fail("truncated payload");
+  }
+  const std::uint32_t want_crc = get_u32(payload.data() + payload_bytes);
+  payload.resize(static_cast<std::size_t>(payload_bytes));
+  if (binio::crc32(payload.data(), payload.size()) != want_crc) return fail("CRC mismatch");
+  return payload;
 }
 
 void Reader::verify() {

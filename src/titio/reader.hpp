@@ -45,6 +45,18 @@ class Reader final : public ActionSource {
   bool next(int rank, tit::Action& out) override;
 
   std::uint64_t total_actions() const { return total_actions_; }
+  /// TITB format version of the file (1 or 2; format.hpp).
+  std::uint16_t version() const { return version_; }
+  /// File offset of the checkpoint frame; 0 when the file has none (always
+  /// 0 for v1 files).
+  std::uint64_t ckpt_offset() const { return ckpt_offset_; }
+  /// File offset of the index frame (tail rewrites start at
+  /// min(ckpt_offset, index_offset); ckpt_records.hpp).
+  std::uint64_t index_offset() const { return index_offset_; }
+  /// CRC-validated payload of the checkpoint frame, or empty when the file
+  /// carries none.  A damaged checkpoint frame returns empty too (with a
+  /// Warn log line): checkpoints are an accelerator, never a load blocker.
+  std::vector<std::uint8_t> read_checkpoint_payload();
   std::uint64_t actions_of(int rank) const;
   std::size_t frame_count() const { return frames_.size(); }
   /// The index, in file order (tooling: offsets, per-frame action counts).
@@ -95,6 +107,9 @@ class Reader final : public ActionSource {
   std::string path_;
   ReaderOptions options_;
   int nprocs_ = 0;
+  std::uint16_t version_ = 0;
+  std::uint64_t ckpt_offset_ = 0;
+  std::uint64_t index_offset_ = 0;
   std::uint64_t total_actions_ = 0;
   std::uint64_t file_size_ = 0;
   std::vector<FrameRef> frames_;                  ///< file order

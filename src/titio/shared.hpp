@@ -62,6 +62,18 @@ class SharedTrace {
 
     void rewind() override { pos_.assign(pos_.size(), 0); }
 
+   protected:
+    void do_seek(const std::vector<std::uint64_t>& positions) override {
+      std::vector<std::size_t> limits(pos_.size());
+      for (std::size_t r = 0; r < limits.size(); ++r) {
+        limits[r] = trace_->actions(static_cast<int>(r)).size();
+      }
+      check_seek(positions, nprocs(), limits);
+      for (std::size_t r = 0; r < pos_.size(); ++r) {
+        pos_[r] = static_cast<std::size_t>(positions[r]);
+      }
+    }
+
    private:
     std::shared_ptr<const tit::Trace> trace_;
     std::uint64_t load_skipped_;

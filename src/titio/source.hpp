@@ -54,6 +54,38 @@ class ActionSource {
     session_started_ = true;
   }
 
+  /// Position every rank cursor at `positions[rank]` actions from the start
+  /// (checkpoint restore; src/ckpt).  The next session then streams the
+  /// suffix instead of rewinding — seek() arms exactly one such session.
+  /// Sources that cannot reposition keep the default do_seek, which throws
+  /// ConfigError.
+  void seek(const std::vector<std::uint64_t>& positions) {
+    do_seek(positions);
+    session_started_ = false;
+  }
+
+ protected:
+  virtual void do_seek(const std::vector<std::uint64_t>& /*positions*/) {
+    throw ConfigError(
+        "this ActionSource cannot seek; checkpoint restore needs a "
+        "repositionable source (MemorySource, SharedTrace cursors)");
+  }
+
+  /// Shared bounds check for repositionable sources.
+  static void check_seek(const std::vector<std::uint64_t>& positions, int nprocs,
+                         const std::vector<std::size_t>& limits) {
+    if (positions.size() != static_cast<std::size_t>(nprocs)) {
+      throw ConfigError("seek positions cover " + std::to_string(positions.size()) +
+                        " ranks, trace has " + std::to_string(nprocs));
+    }
+    for (std::size_t r = 0; r < positions.size(); ++r) {
+      if (positions[r] > limits[r]) {
+        throw ConfigError("seek position " + std::to_string(positions[r]) + " past rank p" +
+                          std::to_string(r) + "'s " + std::to_string(limits[r]) + " actions");
+      }
+    }
+  }
+
  private:
   bool session_started_ = false;
 };
@@ -76,6 +108,18 @@ class MemorySource final : public ActionSource {
   }
 
   void rewind() override { pos_.assign(pos_.size(), 0); }
+
+ protected:
+  void do_seek(const std::vector<std::uint64_t>& positions) override {
+    std::vector<std::size_t> limits(pos_.size());
+    for (std::size_t r = 0; r < limits.size(); ++r) {
+      limits[r] = trace_.actions(static_cast<int>(r)).size();
+    }
+    check_seek(positions, nprocs(), limits);
+    for (std::size_t r = 0; r < pos_.size(); ++r) {
+      pos_[r] = static_cast<std::size_t>(positions[r]);
+    }
+  }
 
  private:
   const tit::Trace& trace_;

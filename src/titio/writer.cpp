@@ -29,13 +29,17 @@ Writer::Writer(const std::string& path, int nprocs, WriterOptions options)
       nprocs_(nprocs) {
   if (nprocs <= 0) throw Error("binary trace needs nprocs > 0, got " + std::to_string(nprocs));
   if (options_.frame_actions == 0) options_.frame_actions = 1;
+  if (options_.version != kVersion && options_.version != kVersionV1) {
+    throw Error("unsupported TITB writer version " + std::to_string(options_.version) + ": " +
+                path);
+  }
   if (!out_) throw Error("cannot write binary trace: " + path);
   pending_.resize(static_cast<std::size_t>(nprocs));
   pending_count_.resize(static_cast<std::size_t>(nprocs), 0);
 
   std::vector<std::uint8_t> header;
   put_u32(header, kMagic);
-  put_u16(header, kVersion);
+  put_u16(header, options_.version);
   put_u16(header, 0);  // flags
   put_u32(header, static_cast<std::uint32_t>(nprocs));
   out_.write(reinterpret_cast<const char*>(header.data()),
@@ -111,6 +115,9 @@ void Writer::finish() {
 
   std::vector<std::uint8_t> footer;
   put_u64(footer, index_offset);
+  // v2 footer carries the checkpoint-frame offset; a freshly written trace
+  // has no checkpoints (ckpt::append_checkpoints adds them in place later).
+  if (options_.version != kVersionV1) put_u64(footer, 0);
   put_u64(footer, total_actions_);
   put_u32(footer, kEndMagic);
   out_.write(reinterpret_cast<const char*>(footer.data()),

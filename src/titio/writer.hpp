@@ -21,6 +21,10 @@ struct WriterOptions {
   /// Actions per frame: the frame is the unit of reader buffering, so this
   /// bounds both writer and reader memory. 4096 actions ≈ 20-60 KiB payload.
   std::uint32_t frame_actions = 4096;
+  /// Format version to emit (format.hpp): kVersion (2) by default; kVersionV1
+  /// produces the legacy 20-byte footer without a checkpoint-offset slot —
+  /// kept writable so backward-compatibility tests exercise genuine v1 files.
+  std::uint16_t version = kVersion;
 };
 
 class Writer {

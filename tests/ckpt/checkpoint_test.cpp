@@ -1,0 +1,503 @@
+// The checkpoint subsystem's correctness bar is bitwise: a replay resumed
+// from a consistent-cut snapshot must be indistinguishable from the cold
+// replay it forked from — simulated times and windowed timelines — on BOTH
+// back-ends.  Plus the persistence layer (TITB v2 checkpoint records,
+// backward-compatible v1 reads, corruption degradation), fingerprint
+// discrimination, prefix-hash-validated adoption after a tail append, and
+// the sweep-shaped consumer window_sweep.
+#include "ckpt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/cg.hpp"
+#include "base/error.hpp"
+#include "ckpt/cursor.hpp"
+#include "core/sweep.hpp"
+#include "obs/timeline.hpp"
+#include "platform/clusters.hpp"
+#include "tit/trace.hpp"
+#include "titio/ckpt_records.hpp"
+#include "titio/reader.hpp"
+#include "titio/shared.hpp"
+#include "titio/writer.hpp"
+
+namespace tir::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_file(const std::string& name) {
+  return fs::temp_directory_path() / ("ckpt_" + name + ".titb");
+}
+
+platform::Platform cluster(int n) {
+  platform::Platform p;
+  platform::ClusterSpec spec;
+  spec.prefix = "h";
+  spec.nodes = n;
+  spec.core_speed = 1e9;
+  spec.link_bandwidth = 1.25e8;
+  spec.link_latency = 5e-5;
+  platform::build_flat_cluster(p, spec);
+  return p;
+}
+
+tit::Trace cg(int nprocs = 4, int iterations = 30) {
+  apps::CgConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.iterations = iterations;
+  return apps::cg_trace(cfg);
+}
+
+core::ReplayConfig base_config(obs::Sink* sink = nullptr) {
+  core::ReplayConfig cfg;
+  cfg.rates = {1e9};
+  cfg.sink = sink;
+  return cfg;
+}
+
+void expect_same_intervals(const std::vector<obs::Interval>& a,
+                           const std::vector<obs::Interval>& b, const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const std::string at = label + " interval " + std::to_string(k);
+    EXPECT_EQ(a[k].state, b[k].state) << at;
+    EXPECT_EQ(a[k].begin, b[k].begin) << at;
+    EXPECT_EQ(a[k].end, b[k].end) << at;
+    EXPECT_EQ(a[k].bytes, b[k].bytes) << at;
+    EXPECT_EQ(a[k].bytes2, b[k].bytes2) << at;
+    EXPECT_EQ(a[k].partner, b[k].partner) << at;
+    EXPECT_EQ(a[k].site, b[k].site) << at;
+  }
+}
+
+/// Two partner pairs ping-pong for `rounds` rounds; every round boundary is
+/// a consistent cut.  `rounds` extension keeps earlier rounds a per-rank
+/// prefix — the tail-append shape.
+tit::Trace pingpong(int rounds, double early_volume = 4096.0) {
+  std::string text;
+  for (int k = 0; k < rounds; ++k) {
+    const double v = k == 0 ? early_volume : 8192.0;
+    text += "p0 compute 1e7\np0 send p1 " + std::to_string(v) + "\np0 recv p1 4096\n";
+    text += "p1 compute 2e7\np1 recv p0 " + std::to_string(v) + "\np1 send p0 4096\n";
+    text += "p2 compute 1.5e7\np2 send p3 8192\np2 recv p3 8192\n";
+    text += "p3 compute 1e7\np3 recv p2 8192\np3 send p2 8192\n";
+  }
+  return tit::parse_trace_string(text, 4);
+}
+
+// --- the differential suite ------------------------------------------------
+
+class CkptDifferential : public ::testing::TestWithParam<core::Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, CkptDifferential,
+                         ::testing::Values(core::Backend::Smpi, core::Backend::Msg),
+                         [](const auto& info) {
+                           return info.param == core::Backend::Smpi ? "smpi" : "msg";
+                         });
+
+// Seek to EVERY recorded checkpoint and replay to the end: simulated time
+// and the post-cut timeline must be bitwise identical to the cold replay.
+TEST_P(CkptDifferential, SeekThenReplayMatchesColdAtEveryCheckpoint) {
+  const platform::Platform p = cluster(4);
+  const titio::SharedTrace trace(cg());
+
+  obs::TimelineSink cold_sink;
+  titio::SharedTrace::Cursor cold_source = trace.cursor();
+  const core::ReplayResult cold =
+      core::replay(GetParam(), cold_source, p, base_config(&cold_sink));
+  const double horizon = cold.simulated_time;
+
+  ReplayCursor cursor(trace, p, base_config(), GetParam());
+  RecordOptions opts;
+  opts.action_interval = 32;
+  const core::ReplayResult recorded = cursor.record(opts);
+  EXPECT_EQ(recorded.simulated_time, cold.simulated_time);
+  ASSERT_GE(cursor.checkpoints().checkpoints.size(), 3u)
+      << "trace too small to exercise seeking";
+
+  for (const TraceCheckpoint& c : cursor.checkpoints().checkpoints) {
+    cursor.seek(c.time);
+    ASSERT_EQ(cursor.position(), c.time);
+    obs::TimelineSink warm_sink;
+    const core::ReplayResult warm = cursor.run_to_end(&warm_sink);
+    EXPECT_EQ(warm.simulated_time, cold.simulated_time) << "cut at " << c.time;
+    ASSERT_EQ(warm_sink.nranks(), cold_sink.nranks());
+    for (int r = 0; r < cold_sink.nranks(); ++r) {
+      expect_same_intervals(obs::slice(cold_sink.intervals(r), c.time, horizon),
+                            obs::slice(warm_sink.intervals(r), c.time, horizon),
+                            "cut " + std::to_string(c.time) + " rank " + std::to_string(r));
+    }
+  }
+}
+
+// query(from, to) must equal slicing the COLD replay's full timeline.
+TEST_P(CkptDifferential, QueryMatchesColdSlice) {
+  const platform::Platform p = cluster(4);
+  const titio::SharedTrace trace(cg());
+
+  obs::TimelineSink cold_sink;
+  titio::SharedTrace::Cursor cold_source = trace.cursor();
+  const core::ReplayResult cold =
+      core::replay(GetParam(), cold_source, p, base_config(&cold_sink));
+  const double T = cold.simulated_time;
+
+  ReplayCursor cursor(trace, p, base_config(), GetParam());
+  RecordOptions opts;
+  opts.action_interval = 32;
+  cursor.record(opts);
+
+  const double windows[][2] = {{0.0, T / 4}, {T / 3, T / 2}, {0.6 * T, 0.9 * T}, {0.95 * T, T}};
+  for (const auto& w : windows) {
+    const QueryResult q = cursor.query(w[0], w[1]);
+    ASSERT_EQ(static_cast<int>(q.timelines.size()), trace.nprocs());
+    for (int r = 0; r < trace.nprocs(); ++r) {
+      expect_same_intervals(obs::slice(cold_sink.intervals(r), w[0], w[1]),
+                            q.timelines[static_cast<std::size_t>(r)],
+                            "window [" + std::to_string(w[0]) + ", " + std::to_string(w[1]) +
+                                ") rank " + std::to_string(r));
+    }
+  }
+}
+
+// The cursor is re-entrant: the same query twice in a row (and after an
+// intervening different query) gives identical answers.
+TEST_P(CkptDifferential, RepeatedQueriesAreDeterministic) {
+  const platform::Platform p = cluster(4);
+  const titio::SharedTrace trace(cg());
+  ReplayCursor cursor(trace, p, base_config(), GetParam());
+  RecordOptions opts;
+  opts.action_interval = 64;
+  const double T = cursor.record(opts).simulated_time;
+
+  const QueryResult a = cursor.query(T / 2, 0.75 * T);
+  cursor.query(0.0, T / 8);  // unrelated query in between
+  const QueryResult b = cursor.query(T / 2, 0.75 * T);
+  ASSERT_EQ(a.timelines.size(), b.timelines.size());
+  EXPECT_EQ(a.result.simulated_time, b.result.simulated_time);
+  for (std::size_t r = 0; r < a.timelines.size(); ++r) {
+    expect_same_intervals(a.timelines[r], b.timelines[r], "rank " + std::to_string(r));
+  }
+}
+
+// --- cut metadata & fingerprints -------------------------------------------
+
+TEST(CkptSet, NearestBeforePicksLatestQualifyingSnapshot) {
+  CheckpointSet set;
+  for (const double t : {1.0, 2.0, 3.0}) {
+    TraceCheckpoint c;
+    c.time = t;
+    set.checkpoints.push_back(c);
+  }
+  EXPECT_EQ(set.nearest_before(0.5), nullptr);
+  ASSERT_NE(set.nearest_before(1.0), nullptr);
+  EXPECT_EQ(set.nearest_before(1.0)->time, 1.0);
+  EXPECT_EQ(set.nearest_before(2.9)->time, 2.0);
+  EXPECT_EQ(set.nearest_before(100.0)->time, 3.0);
+  EXPECT_EQ(CheckpointSet{}.nearest_before(1.0), nullptr);
+}
+
+TEST(CkptFingerprint, DiscriminatesTimeShapingKnobsOnly) {
+  const platform::Platform p4 = cluster(4);
+  const platform::Platform p8 = cluster(8);
+  const core::ReplayConfig base = base_config();
+  const std::uint64_t fp = scenario_fingerprint(core::Backend::Smpi, p4, base);
+
+  core::ReplayConfig faster = base;
+  faster.rates = {2e9};
+  EXPECT_NE(scenario_fingerprint(core::Backend::Smpi, p4, faster), fp);
+
+  core::ReplayConfig contended = base;
+  contended.sharing = sim::Sharing::MaxMin;
+  EXPECT_NE(scenario_fingerprint(core::Backend::Smpi, p4, contended), fp);
+
+  core::ReplayConfig eager = base;
+  eager.mpi.eager_threshold = 1024.0;
+  EXPECT_NE(scenario_fingerprint(core::Backend::Smpi, p4, eager), fp);
+
+  EXPECT_NE(scenario_fingerprint(core::Backend::Msg, p4, base), fp);
+  EXPECT_NE(scenario_fingerprint(core::Backend::Smpi, p8, base), fp);
+
+  // Observation/limit knobs cannot change simulated times: same fingerprint.
+  core::ReplayConfig observed = base;
+  obs::TimelineSink sink;
+  observed.sink = &sink;
+  observed.stop_time = 5.0;
+  EXPECT_EQ(scenario_fingerprint(core::Backend::Smpi, p4, observed), fp);
+}
+
+TEST(CkptSeekable, GatesContentionAndOversubscription) {
+  const platform::Platform p4 = cluster(4);
+  const platform::Platform p2 = cluster(2);
+  core::ReplayConfig cfg = base_config();
+  EXPECT_NO_THROW(check_seekable(4, p4, cfg));
+  EXPECT_THROW(check_seekable(4, p2, cfg), ConfigError);
+  cfg.sharing = sim::Sharing::MaxMin;
+  EXPECT_THROW(check_seekable(4, p4, cfg), ConfigError);
+
+  // record() applies the same gate.
+  const titio::SharedTrace trace(cg());
+  ReplayCursor cursor(trace, p4, cfg, core::Backend::Smpi);
+  EXPECT_THROW(cursor.record(), ConfigError);
+}
+
+// --- TITB v2 persistence ---------------------------------------------------
+
+titio::CheckpointBlock synthetic_block(std::uint64_t fingerprint, std::size_t count) {
+  titio::CheckpointBlock b;
+  b.fingerprint = fingerprint;
+  b.nprocs = 2;
+  for (std::size_t i = 0; i < count; ++i) {
+    titio::TraceCheckpoint c;
+    c.time = 1.5 * static_cast<double>(i + 1);
+    for (int r = 0; r < 2; ++r) {
+      titio::CkptRankState st;
+      st.position = 10 * (i + 1) + static_cast<std::uint64_t>(r);
+      st.time = c.time - 0.25 * r;
+      st.collective_sites = i;
+      st.prefix_hash = 0x1234u * (i + 1) + static_cast<std::uint64_t>(r);
+      c.ranks.push_back(st);
+    }
+    b.checkpoints.push_back(std::move(c));
+  }
+  return b;
+}
+
+TEST(CkptRecords, AppendReadRoundTripAndMergeByFingerprint) {
+  const fs::path path = temp_file("roundtrip");
+  titio::write_binary_trace(pingpong(4), path.string(), titio::WriterOptions{64});
+
+  titio::append_checkpoints(path.string(), {synthetic_block(0xAAAA, 2)});
+  std::vector<titio::CheckpointBlock> blocks = titio::read_checkpoints(path.string());
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].fingerprint, 0xAAAAu);
+  ASSERT_EQ(blocks[0].checkpoints.size(), 2u);
+  EXPECT_EQ(blocks[0].checkpoints[1].ranks[1].position, 21u);
+  EXPECT_EQ(blocks[0].checkpoints[1].ranks[1].prefix_hash, 0x1234u * 2 + 1);
+
+  // Same fingerprint replaces, a new fingerprint appends.
+  titio::append_checkpoints(path.string(), {synthetic_block(0xAAAA, 1)});
+  titio::append_checkpoints(path.string(), {synthetic_block(0xBBBB, 3)});
+  blocks = titio::read_checkpoints(path.string());
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].checkpoints.size(), 1u);
+  EXPECT_EQ(blocks[1].fingerprint, 0xBBBBu);
+  EXPECT_EQ(blocks[1].checkpoints.size(), 3u);
+
+  // The appended records do not disturb the action stream.
+  const tit::Trace reread = titio::read_binary_trace(path.string());
+  EXPECT_EQ(reread.total_actions(), pingpong(4).total_actions());
+}
+
+TEST(CkptRecords, ContentHashIsInvariantUnderCheckpointAppend) {
+  const fs::path path = temp_file("hash");
+  titio::write_binary_trace(pingpong(6), path.string(), titio::WriterOptions{64});
+  const std::uint64_t before = titio::Reader(path.string()).content_hash();
+  titio::append_checkpoints(path.string(), {synthetic_block(0xCAFE, 2)});
+  EXPECT_EQ(titio::Reader(path.string()).content_hash(), before)
+      << "the service cache key must not depend on checkpoint records";
+}
+
+TEST(CkptRecords, V1FilesStayReadableAndCarryNoCheckpoints) {
+  const fs::path path = temp_file("v1");
+  const tit::Trace trace = pingpong(5);
+  titio::WriterOptions v1;
+  v1.frame_actions = 64;
+  v1.version = titio::kVersionV1;
+  titio::write_binary_trace(trace, path.string(), v1);
+
+  titio::Reader reader(path.string());
+  EXPECT_EQ(reader.version(), titio::kVersionV1);
+  EXPECT_EQ(reader.ckpt_offset(), 0u);
+  EXPECT_TRUE(titio::read_checkpoints(path.string()).empty());
+  const tit::Trace reread = titio::read_binary_trace(path.string());
+  ASSERT_EQ(reread.nprocs(), trace.nprocs());
+  for (int r = 0; r < trace.nprocs(); ++r) {
+    EXPECT_EQ(reread.actions(r).size(), trace.actions(r).size()) << "rank " << r;
+  }
+
+  // Appending upgrades the file to v2 in place; actions are untouched.
+  titio::append_checkpoints(path.string(), {synthetic_block(0xD00D, 1)});
+  EXPECT_EQ(titio::Reader(path.string()).version(), titio::kVersion);
+  EXPECT_EQ(titio::read_checkpoints(path.string()).size(), 1u);
+  EXPECT_EQ(titio::read_binary_trace(path.string()).total_actions(), trace.total_actions());
+}
+
+TEST(CkptRecords, CorruptCheckpointFrameDegradesToEmptyNotFatal) {
+  const fs::path path = temp_file("corrupt");
+  titio::write_binary_trace(pingpong(5), path.string(), titio::WriterOptions{64});
+  titio::append_checkpoints(path.string(), {synthetic_block(0xBEEF, 2)});
+  const std::uint64_t off = titio::Reader(path.string()).ckpt_offset();
+  ASSERT_NE(off, 0u);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(off) + 9);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(off) + 9);
+    f.write(&byte, 1);
+  }
+  // The trace itself still loads; only the checkpoint payload is refused.
+  EXPECT_EQ(titio::read_binary_trace(path.string()).total_actions(),
+            pingpong(5).total_actions());
+  EXPECT_TRUE(titio::read_checkpoints(path.string()).empty());
+}
+
+// --- adoption after a tail append ------------------------------------------
+
+TEST(CkptAdopt, TailAppendedTraceAdoptsOldCheckpoints) {
+  const platform::Platform p = cluster(4);
+  const titio::SharedTrace short_trace(pingpong(20));
+  const titio::SharedTrace long_trace(pingpong(40));  // first 20 rounds identical
+
+  ReplayCursor short_cursor(short_trace, p, base_config(), core::Backend::Smpi);
+  RecordOptions opts;
+  opts.action_interval = 24;
+  short_cursor.record(opts);
+  const std::size_t recorded = short_cursor.checkpoints().checkpoints.size();
+  ASSERT_GE(recorded, 2u);
+
+  ReplayCursor long_cursor(long_trace, p, base_config(), core::Backend::Smpi);
+  EXPECT_EQ(long_cursor.adopt(short_cursor.checkpoints()), recorded)
+      << "every pre-append checkpoint has a valid prefix hash in the longer trace";
+
+  // Forking the LONGER replay from a pre-append snapshot is still exact.
+  obs::TimelineSink cold_sink;
+  titio::SharedTrace::Cursor cold_source = long_trace.cursor();
+  const core::ReplayResult cold =
+      core::replay(core::Backend::Smpi, cold_source, p, base_config(&cold_sink));
+  const TraceCheckpoint& last = long_cursor.checkpoints().checkpoints.back();
+  long_cursor.seek(last.time);
+  obs::TimelineSink warm_sink;
+  const core::ReplayResult warm = long_cursor.run_to_end(&warm_sink);
+  EXPECT_EQ(warm.simulated_time, cold.simulated_time);
+  for (int r = 0; r < cold_sink.nranks(); ++r) {
+    expect_same_intervals(obs::slice(cold_sink.intervals(r), last.time, cold.simulated_time),
+                          obs::slice(warm_sink.intervals(r), last.time, cold.simulated_time),
+                          "rank " + std::to_string(r));
+  }
+}
+
+TEST(CkptAdopt, EditedPrefixDropsStaleCheckpoints) {
+  const platform::Platform p = cluster(4);
+  const titio::SharedTrace original(pingpong(20));
+  const titio::SharedTrace edited(pingpong(20, /*early_volume=*/9999.0));
+
+  ReplayCursor recorder(original, p, base_config(), core::Backend::Smpi);
+  RecordOptions opts;
+  opts.action_interval = 24;
+  recorder.record(opts);
+  ASSERT_GE(recorder.checkpoints().checkpoints.size(), 1u);
+
+  ReplayCursor victim(edited, p, base_config(), core::Backend::Smpi);
+  EXPECT_EQ(victim.adopt(recorder.checkpoints()), 0u)
+      << "an edit inside round 0 invalidates every downstream prefix hash";
+}
+
+TEST(CkptAdopt, FingerprintMismatchIsRefusedOutright) {
+  const platform::Platform p = cluster(4);
+  const titio::SharedTrace trace(pingpong(10));
+  ReplayCursor recorder(trace, p, base_config(), core::Backend::Smpi);
+  recorder.record(RecordOptions{16});
+
+  core::ReplayConfig other = base_config();
+  other.rates = {3e9};
+  ReplayCursor mismatched(trace, p, other, core::Backend::Smpi);
+  EXPECT_THROW(mismatched.adopt(recorder.checkpoints()), ConfigError);
+}
+
+TEST(CkptAdopt, SaveAndAdoptFileRoundTrip) {
+  const platform::Platform p = cluster(4);
+  const fs::path path = temp_file("savefile");
+  titio::write_binary_trace(pingpong(20), path.string(), titio::WriterOptions{64});
+  const titio::SharedTrace trace(titio::read_binary_trace(path.string()));
+
+  ReplayCursor writer_cursor(trace, p, base_config(), core::Backend::Smpi);
+  writer_cursor.record(RecordOptions{24});
+  const std::size_t recorded = writer_cursor.checkpoints().checkpoints.size();
+  ASSERT_GE(recorded, 1u);
+  writer_cursor.save(path.string());
+
+  ReplayCursor reader_cursor(trace, p, base_config(), core::Backend::Smpi);
+  EXPECT_EQ(reader_cursor.adopt_file(path.string()), recorded);
+  EXPECT_EQ(reader_cursor.fingerprint(), writer_cursor.fingerprint());
+
+  // A cursor for a DIFFERENT scenario finds no block to adopt.
+  core::ReplayConfig other = base_config();
+  other.rates = {7e8};
+  ReplayCursor stranger(trace, p, other, core::Backend::Smpi);
+  EXPECT_EQ(stranger.adopt_file(path.string()), 0u);
+}
+
+// --- window_sweep ----------------------------------------------------------
+
+// Prefix sharing across a scenario grid, exercised CONCURRENTLY (jobs > 1,
+// which is what the TSan job replays): every windowed timeline must equal
+// the cold full replay sliced to the window, including the contended
+// scenario that silently falls back to a cold windowed replay.
+TEST(CkptSweep, WindowSweepMatchesColdSlicesAcrossBackendsAndSharing) {
+  const platform::Platform p = cluster(4);
+  const titio::SharedTrace trace(cg());
+
+  std::vector<core::Scenario> scenarios;
+  for (const double rate : {1e9, 1.5e9}) {
+    for (const core::Backend backend : {core::Backend::Smpi, core::Backend::Msg}) {
+      core::Scenario sc;
+      sc.platform = &p;
+      sc.config.rates = {rate};
+      sc.backend = backend;
+      sc.label = "r" + std::to_string(rate) + (backend == core::Backend::Smpi ? "s" : "m");
+      scenarios.push_back(std::move(sc));
+    }
+  }
+  core::Scenario contended;  // not seekable: cold windowed fallback path
+  contended.platform = &p;
+  contended.config.rates = {1e9};
+  contended.config.sharing = sim::Sharing::MaxMin;
+  contended.label = "contended";
+  scenarios.push_back(std::move(contended));
+
+  // Cold reference: full replay per scenario.
+  std::vector<obs::TimelineSink> cold_sinks(scenarios.size());
+  double T = 0.0;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    core::ReplayConfig cfg = scenarios[i].config;
+    cfg.sink = &cold_sinks[i];
+    titio::SharedTrace::Cursor source = trace.cursor();
+    T = std::max(T, core::replay(scenarios[i].backend, source, p, cfg).simulated_time);
+  }
+
+  const double from = 0.4 * T;
+  const double to = 0.7 * T;
+  core::SweepOptions options;
+  options.jobs = 4;
+  const WindowSweepResult result = window_sweep(trace, scenarios, from, to, options);
+  ASSERT_EQ(result.outcomes.size(), scenarios.size());
+  ASSERT_EQ(result.windows.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    ASSERT_TRUE(result.outcomes[i].ok) << result.outcomes[i].error;
+    EXPECT_EQ(result.outcomes[i].label, scenarios[i].label);
+    for (int r = 0; r < trace.nprocs(); ++r) {
+      expect_same_intervals(obs::slice(cold_sinks[i].intervals(r), from, to),
+                            result.windows[i].timelines[static_cast<std::size_t>(r)],
+                            scenarios[i].label + " rank " + std::to_string(r));
+    }
+  }
+}
+
+TEST(CkptSweep, InvertedWindowThrows) {
+  const titio::SharedTrace trace(pingpong(2));
+  EXPECT_THROW(window_sweep(trace, {}, 2.0, 1.0), ConfigError);
+  const platform::Platform p = cluster(4);
+  ReplayCursor cursor(trace, p, base_config(), core::Backend::Smpi);
+  EXPECT_THROW(cursor.query(2.0, 1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace tir::ckpt

@@ -1,0 +1,85 @@
+// The CLI argument contract (satellite of the checkpoint PR): tir-profile
+// and trace_inspect must reject unknown flags, malformed operands and
+// stray positionals with the usage text and a NONZERO exit — a typo must
+// never silently replay the wrong scenario.  Exercised against the real
+// binaries (paths injected by CMake) through std::system.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "tit/trace.hpp"
+#include "titio/writer.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int run(const std::string& command) {
+  // Quiet: these invocations are EXPECTED to complain on stderr.
+  const int status = std::system((command + " >/dev/null 2>&1").c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string titb_fixture() {
+  static const std::string path = [] {
+    const fs::path p = fs::temp_directory_path() / "cli_args_fixture.titb";
+    tir::tit::Trace trace = tir::tit::parse_trace_string(
+        "p0 compute 1e7\np0 send p1 1024\np0 recv p1 1024\n"
+        "p1 compute 1e7\np1 recv p0 1024\np1 send p0 1024\n",
+        2);
+    tir::titio::write_binary_trace(trace, p.string());
+    return p.string();
+  }();
+  return path;
+}
+
+TEST(CliArgs, TraceInspectRejectsUnknownFlags) {
+  const std::string inspect = TIR_TRACE_INSPECT;
+  EXPECT_EQ(run(inspect + " --bogus " + titb_fixture()), 2);
+  EXPECT_EQ(run(inspect + " -v"), 2);
+  EXPECT_EQ(run(inspect), 2);  // no trace at all
+}
+
+TEST(CliArgs, TraceInspectRejectsExtraPositionalsAndBadNprocs) {
+  const std::string inspect = TIR_TRACE_INSPECT;
+  EXPECT_EQ(run(inspect + " " + titb_fixture() + " 4 extra"), 2);
+  EXPECT_EQ(run(inspect + " " + titb_fixture() + " banana"), 2);
+  EXPECT_EQ(run(inspect + " " + titb_fixture() + " 0"), 2);
+}
+
+TEST(CliArgs, TraceInspectAcceptsAValidTrace) {
+  EXPECT_EQ(run(std::string(TIR_TRACE_INSPECT) + " " + titb_fixture()), 0);
+}
+
+TEST(CliArgs, ProfileRejectsUnknownFlagsAndOperands) {
+  const std::string profile = TIR_PROFILE;
+  EXPECT_EQ(run(profile + " --bogus " + titb_fixture()), 2);
+  EXPECT_EQ(run(profile + " -backend bogus " + titb_fixture()), 2);
+  EXPECT_EQ(run(profile + " -np"), 2);  // flag missing its value
+  EXPECT_EQ(run(profile + " " + titb_fixture() + " stray.titb"), 2);
+  EXPECT_EQ(run(profile), 2);
+}
+
+TEST(CliArgs, ProfileRejectsMalformedWindows) {
+  const std::string profile = TIR_PROFILE;
+  const std::string trace = " " + titb_fixture();
+  EXPECT_EQ(run(profile + " -from banana -to 2" + trace), 2);
+  EXPECT_EQ(run(profile + " -from 1" + trace), 2);            // -from without -to
+  EXPECT_EQ(run(profile + " -from 2 -to 1" + trace), 2);      // inverted
+  EXPECT_EQ(run(profile + " -from -1 -to 2" + trace), 2);     // negative
+}
+
+TEST(CliArgs, ProfileRunsColdAndWindowed) {
+  const fs::path out = fs::temp_directory_path() / "cli_args_profile_out";
+  const std::string profile = TIR_PROFILE;
+  const std::string tail = " -o " + out.string() + " " + titb_fixture();
+  EXPECT_EQ(run(profile + tail), 0);
+  // Windowed: records checkpoints on the fly, saves them into the .titb,
+  // then a second windowed run adopts them from the file.
+  EXPECT_EQ(run(profile + " -from 0 -to 0.001 -save-ckpt" + tail), 0);
+  EXPECT_EQ(run(profile + " -from 0 -to 0.001" + tail), 0);
+}
+
+}  // namespace

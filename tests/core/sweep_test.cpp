@@ -220,6 +220,35 @@ TEST(Sweep, ExtraRatesWarningReachesSink) {
       << sink.warnings()[0];
 }
 
+// Satellite: N scenarios sharing a misconfiguration used to shout the same
+// warning N times.  The sweep-owned WarningDedupe now lets the first
+// session through and mutes the repeats — exactly one warning lands across
+// ALL the sweep's sinks, at any worker count; a later sweep starts fresh.
+TEST(Sweep, DuplicateConfigWarningReportedOncePerSweep) {
+  const titio::SharedTrace trace = shared_cg(/*nprocs=*/4);
+  const platform::Platform p = cluster(4);
+
+  for (const int jobs : {1, 4}) {
+    std::vector<obs::TimelineSink> sinks(8);
+    std::vector<Scenario> scenarios;
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      Scenario sc;
+      sc.platform = &p;
+      sc.config.rates = {1e9, 1e9, 1e9, 1e9, 2e9, 3e9};  // same warning everywhere
+      sc.config.sink = &sinks[i];
+      sc.label = "dup" + std::to_string(i);
+      scenarios.push_back(std::move(sc));
+    }
+    SweepOptions options;
+    options.jobs = jobs;
+    const std::vector<ScenarioOutcome> outcomes = sweep(trace, scenarios, options);
+    std::size_t warnings = 0;
+    for (const ScenarioOutcome& o : outcomes) EXPECT_TRUE(o.ok) << o.error;
+    for (const obs::TimelineSink& s : sinks) warnings += s.warnings().size();
+    EXPECT_EQ(warnings, 1u) << "jobs=" << jobs;
+  }
+}
+
 // Cancellation (the service's per-job deadline rides on this): a cancelled
 // token turns every not-yet-started scenario into a Cancelled outcome while
 // keeping labels and input order; already-produced outcomes are untouched.

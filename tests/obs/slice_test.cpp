@@ -1,0 +1,122 @@
+// obs::slice window-boundary semantics (the checkpoint subsystem's windowed
+// queries ride on these being exact):
+//   * a non-zero interval is kept iff it overlaps (begin < to && end > from)
+//     and is clipped to the window;
+//   * a zero-width interval is kept iff it lies strictly inside, OR sits at
+//     `from` when from == 0 (a cold replay's t=0 markers) — one sitting
+//     exactly at a seam of an interior window is invisible, so adjacent
+//     windows never double-count it;
+//   * an inverted window throws.
+#include "obs/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/error.hpp"
+
+namespace tir::obs {
+namespace {
+
+Interval iv(RankState state, double begin, double end) {
+  Interval i;
+  i.state = state;
+  i.begin = begin;
+  i.end = end;
+  i.op = "x";
+  i.bytes = 7.0;
+  i.partner = 3;
+  return i;
+}
+
+TEST(Slice, ClipsStraddlingIntervalsToTheWindow) {
+  const std::vector<Interval> full = {
+      iv(RankState::Compute, 0.0, 4.0),   // straddles `from`
+      iv(RankState::Send, 4.0, 6.0),      // inside
+      iv(RankState::Recv, 6.0, 12.0),     // straddles `to`
+      iv(RankState::Wait, 12.0, 14.0),    // beyond
+  };
+  const std::vector<Interval> s = slice(full, 2.0, 10.0);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].state, RankState::Compute);
+  EXPECT_EQ(s[0].begin, 2.0);
+  EXPECT_EQ(s[0].end, 4.0);
+  EXPECT_EQ(s[1].begin, 4.0);
+  EXPECT_EQ(s[1].end, 6.0);
+  EXPECT_EQ(s[2].state, RankState::Recv);
+  EXPECT_EQ(s[2].begin, 6.0);
+  EXPECT_EQ(s[2].end, 10.0);
+  // Payload fields survive clipping untouched.
+  EXPECT_EQ(s[0].bytes, 7.0);
+  EXPECT_EQ(s[0].partner, 3);
+}
+
+TEST(Slice, IntervalSpanningTheWholeWindowIsClippedToIt) {
+  const std::vector<Interval> s = slice({iv(RankState::Collective, 0.0, 100.0)}, 10.0, 20.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].begin, 10.0);
+  EXPECT_EQ(s[0].end, 20.0);
+}
+
+TEST(Slice, TouchingButNotOverlappingIsDropped) {
+  // end == from and begin == to are seam contacts, not overlaps.
+  EXPECT_TRUE(slice({iv(RankState::Compute, 0.0, 5.0)}, 5.0, 10.0).empty());
+  EXPECT_TRUE(slice({iv(RankState::Compute, 10.0, 15.0)}, 5.0, 10.0).empty());
+}
+
+TEST(Slice, ZeroWidthKeptStrictlyInsideOnly) {
+  const std::vector<Interval> full = {
+      iv(RankState::Send, 5.0, 5.0),    // at `from`: invisible
+      iv(RankState::Recv, 7.0, 7.0),    // interior: kept
+      iv(RankState::Wait, 10.0, 10.0),  // at `to`: invisible
+  };
+  const std::vector<Interval> s = slice(full, 5.0, 10.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].state, RankState::Recv);
+  EXPECT_EQ(s[0].begin, 7.0);
+  EXPECT_EQ(s[0].end, 7.0);
+}
+
+TEST(Slice, ZeroWidthAtTimeZeroBelongsToTheFirstWindow) {
+  // A cold replay emits zero-width markers at t=0 (Init and friends); a
+  // window anchored at 0 must include them even though begin == from.
+  const std::vector<Interval> full = {iv(RankState::Send, 0.0, 0.0),
+                                      iv(RankState::Compute, 0.0, 3.0)};
+  const std::vector<Interval> s = slice(full, 0.0, 2.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].begin, 0.0);
+  EXPECT_EQ(s[0].end, 0.0);
+  EXPECT_EQ(s[1].end, 2.0);
+}
+
+TEST(Slice, AdjacentWindowsPartitionWithoutDoubleCounting) {
+  const std::vector<Interval> full = {
+      iv(RankState::Compute, 0.0, 4.0),
+      iv(RankState::Send, 4.0, 4.0),  // zero-width exactly at the seam
+      iv(RankState::Recv, 4.0, 8.0),
+  };
+  const std::vector<Interval> left = slice(full, 0.0, 4.0);
+  const std::vector<Interval> right = slice(full, 4.0, 8.0);
+  double covered = 0.0;
+  std::size_t zero_width = 0;
+  for (const auto& part : {left, right}) {
+    for (const Interval& i : part) {
+      covered += i.duration();
+      if (i.duration() == 0.0) ++zero_width;
+    }
+  }
+  EXPECT_EQ(covered, 8.0);
+  EXPECT_EQ(zero_width, 0u) << "the seam marker must not appear in either window";
+}
+
+TEST(Slice, EmptyInputAndEmptyOverlapYieldEmpty) {
+  EXPECT_TRUE(slice({}, 0.0, 1.0).empty());
+  EXPECT_TRUE(slice({iv(RankState::Compute, 20.0, 30.0)}, 0.0, 10.0).empty());
+}
+
+TEST(Slice, InvertedWindowThrows) {
+  EXPECT_THROW(slice({}, 2.0, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace tir::obs

@@ -142,11 +142,12 @@ TEST(Recovery, IndexTruncatedMidEntryDegradesToTypedError) {
   // the index's byte offset, not a bare parse error, a crash, or a loop.
   const fs::path path = write_sample("idxtrunc");
   std::vector<char> bytes = slurp(path);
-  // Footer (last 20 bytes): u64 index_offset, u64 total_actions, u32 magic.
+  // v2 footer (last 28 bytes): u64 index_offset, u64 ckpt_offset,
+  // u64 total_actions, u32 magic.
   std::uint64_t index_offset = 0;
   for (int b = 0; b < 8; ++b) {
-    index_offset |= static_cast<std::uint64_t>(
-                        static_cast<unsigned char>(bytes[bytes.size() - 20 + static_cast<std::size_t>(b)]))
+    index_offset |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                        bytes[bytes.size() - kFooterBytesV2 + static_cast<std::size_t>(b)]))
                     << (8 * b);
   }
   const std::size_t e1 = static_cast<std::size_t>(index_offset) + 1;
