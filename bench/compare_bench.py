@@ -1,13 +1,27 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_replay_speed.json against the checked-in baseline.
+"""Compare a fresh benchmark report against the checked-in baseline.
 
 Used by the bench-regression CI job (.github/workflows/ci.yml): every
-throughput figure in the report is matched against the same figure in
-bench/baselines/BENCH_replay_speed.json.  A drop of more than --fail-drop
+throughput figure in the report is matched against the same figure in the
+matching bench/baselines/BENCH_*.json.  A drop of more than --fail-drop
 (default 15%) on any figure fails the job; more than --warn-drop (default
 5%) prints a warning but passes.  Correctness flags embedded in the report
 (the incremental-kernel speedup gate and the sink-overhead budget) fail the
 comparison outright regardless of the baseline.
+
+Three report shapes are understood:
+
+  * BENCH_replay_speed.json (eff_replay_speed) -- cases/streaming/kernel/
+    sink/sweep/seek sections, actions_per_second figures;
+  * BENCH_service.json (tird_bench) -- service legs, jobs_per_second;
+  * BENCH_kernel.json (kernel_microbench via --benchmark_out) -- the
+    google-benchmark JSON format: each entry of "benchmarks" that reports
+    items_per_second becomes a comparable figure.  Wall-time-only entries
+    are ignored (they are too noisy to gate on shared CI runners).
+
+--summary PATH additionally writes the full comparison (the same lines
+that go to stdout) to PATH, so CI can upload a single text diff per report
+next to the raw JSON.
 
 Only the standard library is used, so the script runs on any CI python3.
 
@@ -67,6 +81,16 @@ def collect_rates(report):
                     "cold_concurrent"):
             if leg in service:
                 rates["service." + leg] = service[leg]["jobs_per_second"]
+    # BENCH_kernel.json: google-benchmark --benchmark_out JSON.  Gate on
+    # items_per_second (a throughput, robust to CPU-frequency jitter in the
+    # same way the replay figures are); skip aggregate rows (mean/median/
+    # stddev repeats of the same benchmark) so each figure appears once.
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ips = b.get("items_per_second")
+        if ips is not None:
+            rates["gbench[{}]".format(b["name"])] = ips
     return rates
 
 
@@ -146,6 +170,8 @@ def main():
                     help="fractional throughput drop that fails the job")
     ap.add_argument("--warn-drop", type=float, default=0.05,
                     help="fractional throughput drop that prints a warning")
+    ap.add_argument("--summary", metavar="PATH",
+                    help="also write the comparison text to PATH (CI artifact)")
     args = ap.parse_args()
 
     try:
@@ -160,6 +186,13 @@ def main():
     cur_rates = collect_rates(current)
     base_rates = collect_rates(baseline)
 
+    out_lines = []
+
+    def emit(line):
+        out_lines.append(line)
+        print(line)
+
+    emit("compare_bench: {} vs baseline {}".format(args.current, args.baseline))
     failures = check_gates(current)
     warnings = []
     compared = 0
@@ -172,25 +205,33 @@ def main():
             continue
         compared += 1
         drop = 1.0 - cur / base
-        line = "{:<44} base {:>12.0f} a/s  now {:>12.0f} a/s  ({:+.1%})".format(
+        line = "{:<44} base {:>12.0f} /s  now {:>12.0f} /s  ({:+.1%})".format(
             label, base, cur, -drop)
         if drop > args.fail_drop:
             failures.append(line)
         elif drop > args.warn_drop:
             warnings.append(line)
         else:
-            print("ok   " + line)
+            emit("ok   " + line)
     for label in sorted(set(cur_rates) - set(base_rates)):
-        print("new  {:<44} {:>12.0f} a/s (no baseline yet)".format(label, cur_rates[label]))
+        emit("new  {:<44} {:>12.0f} /s (no baseline yet)".format(label, cur_rates[label]))
 
     for w in warnings:
-        print("WARN " + w)
+        emit("WARN " + w)
     for f in failures:
-        print("FAIL " + f)
-    print("compare_bench: {} figures compared, {} warnings, {} failures".format(
+        emit("FAIL " + f)
+    emit("compare_bench: {} figures compared, {} warnings, {} failures".format(
         compared, len(warnings), len(failures)))
     if compared == 0:
-        print("FAIL no comparable figures found -- baseline or report malformed")
+        emit("FAIL no comparable figures found -- baseline or report malformed")
+    if args.summary:
+        try:
+            with open(args.summary, "w") as f:
+                f.write("\n".join(out_lines) + "\n")
+        except OSError as e:
+            print("compare_bench: cannot write summary: {}".format(e), file=sys.stderr)
+            return 2
+    if compared == 0:
         return 1
     return 1 if failures else 0
 

@@ -116,7 +116,7 @@ void check_seekable(int nprocs, const platform::Platform& platform,
         "a prefix transfer overlapping the cut would change the max-min "
         "rates of suffix transfers, so a restored replay would diverge");
   }
-  if (nprocs > platform.host_count()) {
+  if (nprocs < 0 || static_cast<std::size_t>(nprocs) > platform.host_count()) {
     throw ConfigError("checkpointed replay requires nprocs <= host count (" +
                       std::to_string(nprocs) + " ranks on " +
                       std::to_string(platform.host_count()) +

@@ -66,15 +66,41 @@ sim::Coro monolithic(sim::Ctx& ctx, OldReplayShared& shared, double delay) {
 }
 
 /// Per-rank state behind the engine's deadlock/watchdog diagnosis (same
-/// shape as the new back-end's; see replay_smpi.cpp).
+/// shape as the new back-end's; see replay_smpi.cpp).  Plain data only: the
+/// hot loop records what the rank blocks on, and describe_rank() formats the
+/// text on the rare path that needs it (deadlock/watchdog reports).
 struct RankDiag {
+  enum class Wait : std::uint8_t { None, Mailbox, OldestRequest, AllRequests, Collective };
+
   tit::Action last{};
   std::uint64_t completed = 0;
-  std::string waiting;
+  Wait wait = Wait::None;
+  tit::Action wait_action{};     ///< the blocking action (Mailbox/Collective)
+  int box_src = 0;               ///< mailbox "<src>_<dst>" (Wait::Mailbox)
+  int box_dst = 0;
+  std::uint64_t wait_count = 0;  ///< outstanding requests (AllRequests)
 };
 
 std::string describe_rank(const RankDiag& diag) {
-  std::string s = diag.waiting.empty() ? "blocked" : "blocked on " + diag.waiting;
+  std::string s;
+  switch (diag.wait) {
+    case RankDiag::Wait::None:
+      s = "blocked";
+      break;
+    case RankDiag::Wait::Mailbox:
+      s = "blocked on mailbox " + box_name(diag.box_src, diag.box_dst) + ": " +
+          tit::to_line(diag.wait_action);
+      break;
+    case RankDiag::Wait::OldestRequest:
+      s = "blocked on wait (oldest outstanding request)";
+      break;
+    case RankDiag::Wait::AllRequests:
+      s = "blocked on waitall (" + std::to_string(diag.wait_count) + " outstanding request(s))";
+      break;
+    case RankDiag::Wait::Collective:
+      s = "blocked on collective rendezvous: " + tit::to_line(diag.wait_action);
+      break;
+  }
   if (diag.completed > 0) {
     s += "; last completed: " + tit::to_line(diag.last) + " (action #" +
          std::to_string(diag.completed - 1) + ")";
@@ -102,6 +128,20 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
   std::deque<msg::Request> outstanding;
   RankDiag diag;
   ctx.set_diagnoser([&diag] { return describe_rank(diag); });
+  // Mailbox handles resolved once per peer: the hot loop then never builds
+  // a "<src>_<dst>" name or hashes it.
+  std::vector<msg::BoxId> to_peer(static_cast<std::size_t>(n), -1);
+  std::vector<msg::BoxId> from_peer(static_cast<std::size_t>(n), -1);
+  const auto out_box = [&](int dst) {
+    msg::BoxId& id = to_peer[static_cast<std::size_t>(dst)];
+    if (id < 0) id = shared.mailboxes.box(box_name(me, dst));
+    return id;
+  };
+  const auto in_box = [&](int src) {
+    msg::BoxId& id = from_peer[static_cast<std::size_t>(src)];
+    if (id < 0) id = shared.mailboxes.box(box_name(src, me));
+    return id;
+  };
   obs::Sink* const sink = config.sink;  // hoisted: one load, no per-action deref
   std::int64_t collective_site = 0;     // same numbering as the static validator
   if (config.resume != nullptr) {
@@ -135,35 +175,52 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
         check_p2p_partner(me, n, a);
         // The paper's old action_send: async below 64 KiB, blocking above.
         if (a.volume < kSmallMessage) {
-          shared.mailboxes.isend(ctx, box_name(me, a.partner), a.volume);
+          shared.mailboxes.send_async(ctx, out_box(a.partner), a.volume);
         } else {
-          diag.waiting = "mailbox " + box_name(me, a.partner) + ": " + tit::to_line(a);
-          co_await shared.mailboxes.send(ctx, box_name(me, a.partner), a.volume);
+          diag.wait = RankDiag::Wait::Mailbox;
+          diag.wait_action = a;
+          diag.box_src = me;
+          diag.box_dst = a.partner;
+          // Flattened send(): isend + wait without the nested coroutine frame.
+          co_await ctx.wait(shared.mailboxes.isend(ctx, out_box(a.partner), a.volume));
         }
         break;
       case tit::ActionType::Isend:
         check_p2p_partner(me, n, a);
-        outstanding.push_back(shared.mailboxes.isend(ctx, box_name(me, a.partner), a.volume));
+        outstanding.push_back(shared.mailboxes.isend(ctx, out_box(a.partner), a.volume));
         break;
       case tit::ActionType::Recv:
-      case tit::ActionType::Irecv:
+      case tit::ActionType::Irecv: {
         check_p2p_partner(me, n, a);
         // The old framework had no true nonblocking receive; irecv degraded
         // to a blocking mailbox read (one of its crude simplifications).
-        diag.waiting = "mailbox " + box_name(a.partner, me) + ": " + tit::to_line(a);
-        co_await shared.mailboxes.recv(ctx, box_name(a.partner, me));
+        diag.wait = RankDiag::Wait::Mailbox;
+        diag.wait_action = a;
+        diag.box_src = a.partner;
+        diag.box_dst = me;
+        // Flattened recv(): this loop runs once per received message, so the
+        // nested coroutine frame recv() allocates is pure overhead here.  The
+        // slot lives in this frame, which outlives the match (we await it).
+        msg::RecvSlot slot;
+        msg::Request r = shared.mailboxes.match_or_post(ctx, in_box(a.partner), slot);
+        if (r == nullptr) {
+          co_await ctx.wait(slot.matched);
+          r = std::move(slot.comm);
+        }
+        co_await ctx.wait(std::move(r));
         break;
+      }
       case tit::ActionType::Wait:
         if (!outstanding.empty()) {
-          diag.waiting = "wait (oldest outstanding request)";
+          diag.wait = RankDiag::Wait::OldestRequest;
           msg::Request r = std::move(outstanding.front());
           outstanding.pop_front();
           co_await ctx.wait(std::move(r));
         }
         break;
       case tit::ActionType::WaitAll:
-        diag.waiting = "waitall (" + std::to_string(outstanding.size()) +
-                       " outstanding request(s))";
+        diag.wait = RankDiag::Wait::AllRequests;
+        diag.wait_count = outstanding.size();
         while (!outstanding.empty()) {
           msg::Request r = std::move(outstanding.front());
           outstanding.pop_front();
@@ -171,41 +228,48 @@ sim::Coro replay_rank_msg(sim::Ctx& ctx, int me, titio::ActionSource& source,
         }
         break;
       case tit::ActionType::Barrier:
-        diag.waiting = "collective rendezvous: " + tit::to_line(a);
+        diag.wait = RankDiag::Wait::Collective;
+        diag.wait_action = a;
         co_await monolithic(ctx, shared, shared.model.stage(1.0));
         break;
       case tit::ActionType::Bcast:
-        diag.waiting = "collective rendezvous: " + tit::to_line(a);
+        diag.wait = RankDiag::Wait::Collective;
+        diag.wait_action = a;
         co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
         break;
       case tit::ActionType::Reduce:
-        diag.waiting = "collective rendezvous: " + tit::to_line(a);
+        diag.wait = RankDiag::Wait::Collective;
+        diag.wait_action = a;
         co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
         co_await ctx.execute_at(std::max(a.volume2, 1.0), rate);
         break;
       case tit::ActionType::AllReduce:
-        diag.waiting = "collective rendezvous: " + tit::to_line(a);
+        diag.wait = RankDiag::Wait::Collective;
+        diag.wait_action = a;
         co_await monolithic(ctx, shared, 2.0 * shared.model.tree(n, a.volume));
         co_await ctx.execute_at(std::max(a.volume2, 1.0), rate);
         break;
       case tit::ActionType::AllToAll:
-        diag.waiting = "collective rendezvous: " + tit::to_line(a);
+        diag.wait = RankDiag::Wait::Collective;
+        diag.wait_action = a;
         co_await monolithic(ctx, shared, (n - 1) * shared.model.stage(a.volume));
         break;
       case tit::ActionType::AllGather:
-        diag.waiting = "collective rendezvous: " + tit::to_line(a);
+        diag.wait = RankDiag::Wait::Collective;
+        diag.wait_action = a;
         co_await monolithic(ctx, shared, (n - 1) * shared.model.stage(a.volume));
         break;
       case tit::ActionType::Gather:
       case tit::ActionType::Scatter:
-        diag.waiting = "collective rendezvous: " + tit::to_line(a);
+        diag.wait = RankDiag::Wait::Collective;
+        diag.wait_action = a;
         co_await monolithic(ctx, shared, shared.model.tree(n, a.volume));
         break;
     }
     if (sink != nullptr) sink->on_phase_end(me, ctx.now());
     diag.last = a;
     ++diag.completed;
-    diag.waiting.clear();  // keeps capacity: no per-action allocation
+    diag.wait = RankDiag::Wait::None;
   }
 }
 

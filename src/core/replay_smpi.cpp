@@ -16,15 +16,44 @@ namespace {
 /// rank is blocked on and the last action it completed.  Lives in the
 /// coroutine frame; the engine only reads it (through the diagnoser
 /// callback) while the actor is suspended, so the frame is alive.
+///
+/// Kept as plain data on purpose: formatting the diagnosis text per action
+/// would dominate the replay hot loop, so the loop only records *what* the
+/// rank blocks on and describe_rank() renders the string on the rare path
+/// that actually needs it (deadlock/watchdog reports).
 struct RankDiag {
+  enum class Wait : std::uint8_t { None, Action, OldestRequest, AllRequests, Collective };
+
   tit::Action last{};
   std::uint64_t completed = 0;
   std::uint64_t collective_site = 0;  ///< matches the static validator's numbering
-  std::string waiting;
+  Wait wait = Wait::None;
+  tit::Action wait_action{};     ///< the blocking action (Wait::Action/Collective)
+  std::uint64_t wait_count = 0;  ///< outstanding requests (OldestRequest/AllRequests)
+  std::uint64_t wait_site = 0;   ///< collective site at block time
 };
 
 std::string describe_rank(const RankDiag& diag) {
-  std::string s = diag.waiting.empty() ? "blocked" : "blocked on " + diag.waiting;
+  std::string s;
+  switch (diag.wait) {
+    case RankDiag::Wait::None:
+      s = "blocked";
+      break;
+    case RankDiag::Wait::Action:
+      s = "blocked on " + tit::to_line(diag.wait_action);
+      break;
+    case RankDiag::Wait::OldestRequest:
+      s = "blocked on wait (oldest of " + std::to_string(diag.wait_count) +
+          " outstanding request(s))";
+      break;
+    case RankDiag::Wait::AllRequests:
+      s = "blocked on waitall (" + std::to_string(diag.wait_count) + " outstanding request(s))";
+      break;
+    case RankDiag::Wait::Collective:
+      s = "blocked on collective site " + std::to_string(diag.wait_site) + ": " +
+          tit::to_line(diag.wait_action);
+      break;
+  }
   if (diag.completed > 0) {
     s += "; last completed: " + tit::to_line(diag.last) + " (action #" +
          std::to_string(diag.completed - 1) + ")";
@@ -55,6 +84,12 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
   RankDiag diag;
   ctx.set_diagnoser([&diag] { return describe_rank(diag); });
   obs::Sink* const sink = config.sink;  // hoisted: one load, no per-action deref
+  // With no modelled copy cost (the default), a blocking eager send is
+  // complete the moment isend returns and a blocking recv is exactly a wait
+  // on its request — both run without entering a World coroutine.
+  const smpi::Config& wcfg = world.config();
+  const bool zero_copy_cost =
+      wcfg.per_message_cpu_seconds == 0.0 && !wcfg.model_copy_time;
   if (config.resume != nullptr) {
     // Checkpoint restore: the prefix already ran.  Adopt its collective-site
     // numbering and hold this rank at its boundary time before pulling the
@@ -80,8 +115,13 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
         break;
       case tit::ActionType::Send:
         check_p2p_partner(me, world.size(), a);
-        diag.waiting = tit::to_line(a);
-        co_await world.send(ctx, me, a.partner, a.volume);
+        diag.wait = RankDiag::Wait::Action;
+        diag.wait_action = a;
+        if (zero_copy_cost && a.volume < wcfg.eager_threshold) {
+          (void)world.isend(ctx, me, a.partner, a.volume);
+        } else {
+          co_await world.send(ctx, me, a.partner, a.volume);
+        }
         break;
       case tit::ActionType::Isend:
         check_p2p_partner(me, world.size(), a);
@@ -89,8 +129,13 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
         break;
       case tit::ActionType::Recv:
         check_p2p_partner(me, world.size(), a);
-        diag.waiting = tit::to_line(a);
-        co_await world.recv(ctx, me, a.partner, a.volume);
+        diag.wait = RankDiag::Wait::Action;
+        diag.wait_action = a;
+        if (zero_copy_cost) {
+          co_await ctx.wait(world.irecv(ctx, me, a.partner, a.volume));
+        } else {
+          co_await world.recv(ctx, me, a.partner, a.volume);
+        }
         break;
       case tit::ActionType::Irecv:
         check_p2p_partner(me, world.size(), a);
@@ -101,19 +146,23 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
           throw MalformedTraceError("p" + std::to_string(me) +
                                     ": wait with no outstanding request");
         }
-        diag.waiting = "wait (oldest of " + std::to_string(outstanding.size()) +
-                       " outstanding request(s))";
+        diag.wait = RankDiag::Wait::OldestRequest;
+        diag.wait_count = outstanding.size();
         smpi::Request r = std::move(outstanding.front());
         outstanding.pop_front();
-        co_await world.wait(ctx, std::move(r));
+        co_await ctx.wait(std::move(r));
         break;
       }
       case tit::ActionType::WaitAll: {
-        diag.waiting = "waitall (" + std::to_string(outstanding.size()) +
-                       " outstanding request(s))";
-        std::vector<smpi::Request> all(outstanding.begin(), outstanding.end());
-        outstanding.clear();
-        co_await world.waitall(ctx, std::move(all));
+        diag.wait = RankDiag::Wait::AllRequests;
+        diag.wait_count = outstanding.size();
+        // Sequential awaits complete at the max of the completion times,
+        // which is MPI_Waitall semantics (waiting consumes no resources).
+        while (!outstanding.empty()) {
+          smpi::Request r = std::move(outstanding.front());
+          outstanding.pop_front();
+          co_await ctx.wait(std::move(r));
+        }
         break;
       }
       case tit::ActionType::Barrier:
@@ -124,8 +173,9 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
       case tit::ActionType::AllGather:
       case tit::ActionType::Gather:
       case tit::ActionType::Scatter: {
-        diag.waiting = "collective site " + std::to_string(diag.collective_site) + ": " +
-                       tit::to_line(a);
+        diag.wait = RankDiag::Wait::Collective;
+        diag.wait_action = a;
+        diag.wait_site = diag.collective_site;
         ++diag.collective_site;
         const int root = a.partner >= 0 ? a.partner : 0;
         switch (a.type) {
@@ -160,7 +210,7 @@ sim::Coro replay_rank_smpi(sim::Ctx& ctx, int me, titio::ActionSource& source,
     if (sink != nullptr) sink->on_phase_end(me, ctx.now());
     diag.last = a;
     ++diag.completed;
-    diag.waiting.clear();  // keeps capacity: no per-action allocation
+    diag.wait = RankDiag::Wait::None;
   }
 }
 

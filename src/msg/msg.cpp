@@ -2,56 +2,92 @@
 
 namespace tir::msg {
 
-sim::ActivityPtr Mailboxes::match(const std::string& mailbox, const Put& put,
-                                  platform::HostId dst_host) {
-  if (obs::Sink* const sink = engine_.sink()) sink->on_mailbox_match(mailbox, put.bytes);
+BoxId Mailboxes::box(const std::string& mailbox) {
+  const auto [it, inserted] = names_.emplace(mailbox, static_cast<BoxId>(boxes_.size()));
+  if (inserted) boxes_.push_back(Box{mailbox, {}, {}});
+  return it->second;
+}
+
+sim::ActivityPtr Mailboxes::match(const Box& box, const Put& put, platform::HostId dst_host) {
+  if (obs::Sink* const sink = engine_.sink()) sink->on_mailbox_match(box.name, put.bytes);
   sim::ActivityPtr comm = engine_.make_comm(put.src_host, dst_host, put.bytes);
-  engine_.chain(comm, put.done);
+  if (put.done != nullptr) engine_.chain(comm, put.done);
   return comm;
 }
 
-sim::Coro Mailboxes::send(sim::Ctx& ctx, const std::string& mailbox, double bytes) {
-  const Request done = isend(ctx, mailbox, bytes);
+sim::Coro Mailboxes::send(sim::Ctx& ctx, BoxId box, double bytes) {
+  const Request done = isend(ctx, box, bytes);
   co_await ctx.wait(done);
 }
 
-Request Mailboxes::isend(sim::Ctx& ctx, const std::string& mailbox, double bytes) {
-  Box& box = boxes_[mailbox];
-  Put put{ctx.host(), bytes, engine_.make_gate()};
-  if (!box.gets.empty()) {
-    Get* get = box.gets.front();
-    box.gets.pop_front();
-    get->comm = match(mailbox, put, get->dst_host);
-    get->bytes = bytes;
-    engine_.complete_now(get->matched);
-  } else {
-    box.puts.push_back(put);
-  }
-  return put.done;
-}
-
-sim::Coro Mailboxes::recv(sim::Ctx& ctx, const std::string& mailbox, double* bytes_out) {
-  Box& box = boxes_[mailbox];
+Request Mailboxes::match_or_post(sim::Ctx& ctx, BoxId box_id, RecvSlot& slot,
+                                 double* bytes_out) {
+  Box& box = boxes_[static_cast<std::size_t>(box_id)];
   if (!box.puts.empty()) {
     const Put put = box.puts.front();
     box.puts.pop_front();
-    const sim::ActivityPtr comm = match(mailbox, put, ctx.host());
     if (bytes_out != nullptr) *bytes_out = put.bytes;
-    co_await ctx.wait(comm);
+    return match(box, put, ctx.host());
+  }
+  slot.dst_host = ctx.host();
+  slot.matched = engine_.make_gate();
+  box.gets.push_back(&slot);
+  return nullptr;
+}
+
+Request Mailboxes::isend(sim::Ctx& ctx, BoxId box_id, double bytes) {
+  Box& box = boxes_[static_cast<std::size_t>(box_id)];
+  if (!box.gets.empty()) {
+    // A receiver is already posted: the transfer starts now, and the comm
+    // itself serves as the request.  The chained-gate indirection is only
+    // needed when the put sits queued (its request must exist before the
+    // comm does).  The sender registers on the comm before the woken
+    // receiver resumes, so waiters still fire in the gate path's order, and
+    // gates never enter the time heap, so the renumbered seq values leave
+    // the heap's (key, seq) pop order untouched.
+    RecvSlot* get = box.gets.front();
+    box.gets.pop_front();
+    if (obs::Sink* const sink = engine_.sink()) sink->on_mailbox_match(box.name, bytes);
+    sim::ActivityPtr comm = engine_.make_comm(ctx.host(), get->dst_host, bytes);
+    get->comm = comm;
+    get->bytes = bytes;
+    engine_.complete_now(get->matched);
+    return comm;
+  }
+  box.puts.push_back(Put{ctx.host(), bytes, engine_.make_gate()});
+  return box.puts.back().done;
+}
+
+void Mailboxes::send_async(sim::Ctx& ctx, BoxId box_id, double bytes) {
+  Box& box = boxes_[static_cast<std::size_t>(box_id)];
+  if (!box.gets.empty()) {
+    RecvSlot* get = box.gets.front();
+    box.gets.pop_front();
+    if (obs::Sink* const sink = engine_.sink()) sink->on_mailbox_match(box.name, bytes);
+    sim::ActivityPtr comm = engine_.make_comm(ctx.host(), get->dst_host, bytes);
+    get->comm = std::move(comm);  // the receiver's reference keeps it alive
+    get->bytes = bytes;
+    engine_.complete_now(get->matched);
+    return;
+  }
+  box.puts.push_back(Put{ctx.host(), bytes, nullptr});
+}
+
+sim::Coro Mailboxes::recv(sim::Ctx& ctx, BoxId box_id, double* bytes_out) {
+  RecvSlot slot;
+  const Request direct = match_or_post(ctx, box_id, slot, bytes_out);
+  if (direct != nullptr) {
+    co_await ctx.wait(direct);
     co_return;
   }
-  Get get;
-  get.dst_host = ctx.host();
-  get.matched = engine_.make_gate();
-  box.gets.push_back(&get);
-  co_await ctx.wait(get.matched);
-  if (bytes_out != nullptr) *bytes_out = get.bytes;
-  co_await ctx.wait(get.comm);
+  co_await ctx.wait(slot.matched);
+  if (bytes_out != nullptr) *bytes_out = slot.bytes;
+  co_await ctx.wait(slot.comm);
 }
 
 std::size_t Mailboxes::backlog(const std::string& mailbox) const {
-  const auto it = boxes_.find(mailbox);
-  return it == boxes_.end() ? 0 : it->second.puts.size();
+  const auto it = names_.find(mailbox);
+  return it == names_.end() ? 0 : boxes_[static_cast<std::size_t>(it->second)].puts.size();
 }
 
 Rendezvous::Rendezvous(sim::Engine& engine, int parties)

@@ -25,6 +25,21 @@ namespace tir::msg {
 /// finishes. Await it with ctx.wait(request).
 using Request = sim::ActivityPtr;
 
+/// A resolved mailbox handle (index into the Mailboxes table).  Resolving a
+/// name hashes once; every subsequent operation through the handle is a
+/// plain array index — the old replay back-end addresses every message by
+/// mailbox, so per-operation name hashing would sit on its hot loop.
+using BoxId = std::int32_t;
+
+/// A posted (unmatched) receive, owned by the caller's coroutine frame; see
+/// Mailboxes::match_or_post.
+struct RecvSlot {
+  platform::HostId dst_host{};
+  sim::ActivityPtr matched;  ///< gate completed at match time
+  sim::ActivityPtr comm;     ///< the transfer, filled at match
+  double bytes = 0.0;
+};
+
 class Mailboxes {
  public:
   explicit Mailboxes(sim::Engine& engine) : engine_(engine) {}
@@ -32,16 +47,42 @@ class Mailboxes {
   Mailboxes(const Mailboxes&) = delete;
   Mailboxes& operator=(const Mailboxes&) = delete;
 
+  /// Resolves (creating on first use) a mailbox name to its stable handle.
+  BoxId box(const std::string& mailbox);
+
   /// Blocking send: returns when the matched transfer has completed.
-  sim::Coro send(sim::Ctx& ctx, const std::string& mailbox, double bytes);
+  sim::Coro send(sim::Ctx& ctx, BoxId box, double bytes);
+  sim::Coro send(sim::Ctx& ctx, const std::string& mailbox, double bytes) {
+    return send(ctx, box(mailbox), bytes);
+  }
 
   /// Fire-and-forget send: queues the task, returns a Request completed when
   /// the (match-started) transfer ends.
-  Request isend(sim::Ctx& ctx, const std::string& mailbox, double bytes);
+  Request isend(sim::Ctx& ctx, BoxId box, double bytes);
+  Request isend(sim::Ctx& ctx, const std::string& mailbox, double bytes) {
+    return isend(ctx, box(mailbox), bytes);
+  }
+
+  /// isend without the completion Request.  The old back-end's small-message
+  /// send never looks at its request, so allocating a gate per queued put
+  /// just to discard it is pure hot-loop overhead; a put queued here carries
+  /// no done gate and match() skips the chain.
+  void send_async(sim::Ctx& ctx, BoxId box, double bytes);
 
   /// Blocking receive: matches the oldest queued task (or waits for one),
   /// then waits for the transfer. Returns the task size in bytes.
-  sim::Coro recv(sim::Ctx& ctx, const std::string& mailbox, double* bytes_out = nullptr);
+  sim::Coro recv(sim::Ctx& ctx, BoxId box, double* bytes_out = nullptr);
+  sim::Coro recv(sim::Ctx& ctx, const std::string& mailbox, double* bytes_out = nullptr) {
+    return recv(ctx, box(mailbox), bytes_out);
+  }
+
+  /// Two-phase receive for hot loops that cannot afford the nested recv()
+  /// coroutine frame.  If a task is already queued, matches it and returns
+  /// the started transfer (await it; *bytes_out is filled now).  Otherwise
+  /// posts `slot` and returns null: await slot.matched, then take slot.comm
+  /// and slot.bytes.  `slot` must outlive the match — awaiting slot.matched
+  /// from the calling coroutine's own frame satisfies this.
+  Request match_or_post(sim::Ctx& ctx, BoxId box, RecvSlot& slot, double* bytes_out = nullptr);
 
   /// Number of tasks currently queued (sent but unmatched).
   std::size_t backlog(const std::string& mailbox) const;
@@ -52,24 +93,19 @@ class Mailboxes {
     double bytes;
     Request done;  ///< gate chained to the transfer
   };
-  struct Get {
-    platform::HostId dst_host;
-    sim::ActivityPtr matched;     ///< gate completed at match time
-    sim::ActivityPtr comm;        ///< filled at match
-    double bytes = 0.0;
-  };
   struct Box {
+    std::string name;  ///< for observability events
     std::deque<Put> puts;
-    std::deque<Get*> gets;
+    std::deque<RecvSlot*> gets;
   };
 
   /// Create and start the transfer for a matched (put, get) pair, reporting
   /// the match to the observability sink (if one is attached).
-  sim::ActivityPtr match(const std::string& mailbox, const Put& put,
-                         platform::HostId dst_host);
+  sim::ActivityPtr match(const Box& box, const Put& put, platform::HostId dst_host);
 
   sim::Engine& engine_;
-  std::unordered_map<std::string, Box> boxes_;
+  std::deque<Box> boxes_;  ///< deque: stable addresses across box creation
+  std::unordered_map<std::string, BoxId> names_;
 };
 
 /// Reusable N-party synchronization: everyone blocks until all have arrived.

@@ -14,12 +14,84 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <utility>
+#include <vector>
 
 namespace tir::sim {
 
 class Engine;
+
+namespace detail {
+
+/// Thread-local recycling pool for coroutine frames.
+///
+/// Every simulated MPI call is a coroutine; with the default allocator each
+/// call is a malloc and each completion a free, right on the replay hot
+/// loop.  Frames come in a handful of distinct sizes (one per coroutine
+/// function), so freed frames are kept on per-size free lists and reused.
+///
+/// The pool is thread-local: an Engine and its actors are confined to one
+/// thread (see engine.hpp), so a frame is always created and destroyed on
+/// the same thread and the free lists need no synchronization.  Each block
+/// carries a 16-byte size header because coroutine frame deallocation is not
+/// reliably sized across compilers; 16 bytes preserves max_align_t
+/// alignment for the frame itself.
+class FramePool {
+ public:
+  static void* allocate(std::size_t bytes) {
+    const std::size_t total = bytes + kHeader;
+    FramePool& pool = local();
+    for (Bin& bin : pool.bins_) {
+      if (bin.bytes != total) continue;
+      if (bin.blocks.empty()) break;
+      void* const raw = bin.blocks.back();
+      bin.blocks.pop_back();
+      return static_cast<std::byte*>(raw) + kHeader;
+    }
+    void* const raw = ::operator new(total);
+    *static_cast<std::size_t*>(raw) = total;
+    return static_cast<std::byte*>(raw) + kHeader;
+  }
+
+  static void deallocate(void* p) noexcept {
+    void* const raw = static_cast<std::byte*>(p) - kHeader;
+    const std::size_t total = *static_cast<const std::size_t*>(raw);
+    FramePool& pool = local();
+    for (Bin& bin : pool.bins_) {
+      if (bin.bytes == total) {
+        bin.blocks.push_back(raw);
+        return;
+      }
+    }
+    pool.bins_.push_back(Bin{total, {raw}});
+  }
+
+  ~FramePool() {
+    for (Bin& bin : bins_) {
+      for (void* raw : bin.blocks) ::operator delete(raw);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kHeader = 16;
+
+  struct Bin {
+    std::size_t bytes = 0;
+    std::vector<void*> blocks;
+  };
+
+  static FramePool& local() {
+    thread_local FramePool pool;
+    return pool;
+  }
+
+  std::vector<Bin> bins_;
+};
+
+}  // namespace detail
 
 class [[nodiscard]] Coro {
  public:
@@ -31,6 +103,15 @@ class [[nodiscard]] Coro {
     Engine* engine = nullptr;              ///< set for top-level actors
     int actor_index = -1;
     std::exception_ptr exception;
+
+    // Frames recycle through the thread-local FramePool instead of the
+    // system allocator.  Both delete forms are declared: which one the
+    // coroutine deallocation path picks is implementation-defined.
+    static void* operator new(std::size_t bytes) { return detail::FramePool::allocate(bytes); }
+    static void operator delete(void* p) noexcept { detail::FramePool::deallocate(p); }
+    static void operator delete(void* p, std::size_t /*bytes*/) noexcept {
+      detail::FramePool::deallocate(p);
+    }
 
     Coro get_return_object() { return Coro{Handle::from_promise(*this)}; }
     std::suspend_always initial_suspend() noexcept { return {}; }

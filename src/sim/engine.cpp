@@ -50,7 +50,7 @@ struct Engine::ActorRec {
 };
 
 Engine::Engine(const platform::Platform& platform, EngineConfig config)
-    : platform_(platform), config_(config), pool_(std::make_shared<PoolResource>()) {
+    : platform_(platform), config_(config) {
   host_core_offset_.resize(platform.host_count() + 1, 0);
   int total = 0;
   for (std::size_t h = 0; h < platform.host_count(); ++h) {
@@ -61,6 +61,12 @@ Engine::Engine(const platform::Platform& platform, EngineConfig config)
   core_load_.assign(static_cast<std::size_t>(total), 0);
   core_execs_.resize(static_cast<std::size_t>(total));
   core_dirty_.assign(static_cast<std::size_t>(total), 0);
+  // Flat host-pair route table up to 1024 hosts (16 MiB of slots at the
+  // threshold, a few hundred KiB for typical clusters).
+  constexpr std::size_t kFlatRouteHosts = 1024;
+  if (platform.host_count() <= kFlatRouteHosts) {
+    route_flat_.resize(platform.host_count() * platform.host_count());
+  }
   solver_.reset_links(platform.links());
 }
 
@@ -158,15 +164,18 @@ void Engine::check_watchdog(const std::chrono::steady_clock::time_point& start) 
 
 void Engine::drain_ready() {
   while (!ready_.empty()) {
-    const std::coroutine_handle<> h = ready_.front();
-    ready_.pop_front();
-    h.resume();
+    ready_.pop_front().resume();
     if (first_error_) return;
   }
 }
 
 ActivityPtr Engine::make_activity() {
-  return std::allocate_shared<Activity>(PoolAllocator<Activity>(pool_));
+  ActivityArena* const arena = arena_.arena;
+  void* const mem = arena->pool.allocate(sizeof(Activity));
+  Activity* const act = new (mem) Activity();
+  act->arena = arena;
+  ++arena->live;
+  return ActivityPtr(act);
 }
 
 void Engine::mark_core_dirty(std::int32_t core) {
@@ -178,16 +187,22 @@ void Engine::mark_core_dirty(std::int32_t core) {
 
 void Engine::enroll_exec(Activity* a) {
   const auto c = static_cast<std::size_t>(a->core_index);
-  ++core_load_[c];
+  const int load = ++core_load_[c];
   a->core_slot = static_cast<std::int32_t>(core_execs_[c].size());
   core_execs_[c].push_back(a);
-  mark_core_dirty(a->core_index);
-  // No rate until the next refresh (the core's load may still change while
-  // actors drain); parked at infinity meanwhile.
-  a->rate = 0.0;
+  // Keyed under the load as of now — exact already when nothing else shares
+  // the core (the replay common case, skipping the refresh-pass re-key).  If
+  // the load changes again before the next refresh, the dirty pass re-keys
+  // everyone on the core, this activity included; either way the final
+  // (heap_key, seq) state is identical, and the heap pops in that total
+  // order, so the simulated schedule is unaffected.
+  a->rate = a->nominal_rate / load;
   a->anchor = now_;
-  a->heap_key = kInf;
+  a->heap_key = now_ + a->remaining / a->rate;
   heap_.insert(a);
+  // Only a core whose *other* occupants saw their share change needs a
+  // refresh pass; alone on the core there is nobody to retime.
+  if (load > 1) mark_core_dirty(a->core_index);
 }
 
 ActivityPtr Engine::start_exec(platform::HostId host, int core, double instructions,
@@ -210,14 +225,24 @@ ActivityPtr Engine::start_exec(platform::HostId host, int core, double instructi
   return act;
 }
 
-const platform::Route* Engine::cached_route(platform::HostId src, platform::HostId dst) {
-  const std::uint64_t key = pair_key(src, dst);
-  const auto it = route_cache_.find(key);
-  if (it != route_cache_.end()) return it->second.get();
-  auto route = std::make_unique<platform::Route>(platform_.route(src, dst));
-  const platform::Route* ptr = route.get();
-  route_cache_.emplace(key, std::move(route));
-  return ptr;
+Engine::CachedRoute Engine::cached_route(platform::HostId src, platform::HostId dst) {
+  CachedRoute* slot = nullptr;
+  if (!route_flat_.empty()) {
+    slot = &route_flat_[static_cast<std::size_t>(src) * platform_.host_count() +
+                        static_cast<std::size_t>(dst)];
+  } else {
+    slot = &route_cache_[pair_key(src, dst)];
+  }
+  if (slot->route == nullptr) {
+    route_storage_.push_back(std::make_unique<platform::Route>(platform_.route(src, dst)));
+    slot->route = route_storage_.back().get();
+    double min_bw = kInf;
+    for (const platform::LinkId l : slot->route->links) {
+      min_bw = std::min(min_bw, platform_.link(l).bandwidth);
+    }
+    slot->min_bw = min_bw;
+  }
+  return *slot;
 }
 
 ActivityPtr Engine::make_comm(platform::HostId src, platform::HostId dst, double bytes,
@@ -232,13 +257,10 @@ ActivityPtr Engine::make_comm(platform::HostId src, platform::HostId dst, double
     act->latency_left = platform_.loopback_latency() * lat_factor;
     act->bw_bound = platform_.loopback_bandwidth() * bw_factor;
   } else {
-    act->route = cached_route(src, dst);
-    act->latency_left = act->route->latency * lat_factor;
-    double min_bw = kInf;
-    for (const platform::LinkId l : act->route->links) {
-      min_bw = std::min(min_bw, platform_.link(l).bandwidth);
-    }
-    act->bw_bound = min_bw * bw_factor;
+    const CachedRoute cached = cached_route(src, dst);
+    act->route = cached.route;
+    act->latency_left = cached.route->latency * lat_factor;
+    act->bw_bound = cached.min_bw * bw_factor;
   }
   TIR_ASSERT(act->bw_bound > 0.0);
   if (start_now) start_activity(act);
@@ -311,8 +333,9 @@ void Engine::release_resources(Activity& act) {
   switch (act.kind) {
     case Activity::Kind::Exec: {
       const auto c = static_cast<std::size_t>(act.core_index);
-      --core_load_[c];
-      mark_core_dirty(act.core_index);
+      const int load = --core_load_[c];
+      // Survivors' share grew; an emptied core has nobody left to retime.
+      if (load > 0) mark_core_dirty(act.core_index);
       auto& list = core_execs_[c];
       const auto slot = static_cast<std::size_t>(act.core_slot);
       TIR_ASSERT(slot < list.size() && list[slot] == &act);
@@ -376,7 +399,9 @@ void Engine::add_running(const ActivityPtr& act) {
 void Engine::remove_running(Activity& act) {
   TIR_ASSERT(act.run_slot >= 0);
   const auto slot = static_cast<std::size_t>(act.run_slot);
-  TIR_ASSERT(slot < running_.size() && running_[slot].get() == &act);
+  // The slot is null when advance_to stole the reference just above.
+  TIR_ASSERT(slot < running_.size() &&
+             (running_[slot] == nullptr || running_[slot].get() == &act));
   if (slot != running_.size() - 1) {
     running_[slot] = std::move(running_.back());
     running_[slot]->run_slot = static_cast<std::int32_t>(slot);
@@ -392,9 +417,9 @@ void Engine::complete(Activity& act) {
   // Wake waiters in registration order. Chained gates complete recursively;
   // take ownership of the waiter list first since completing a chained gate
   // may re-enter complete().
-  std::vector<Waiter> waiters = std::move(act.waiters);
-  act.waiters.clear();
-  for (Waiter& w : waiters) {
+  WaiterList waiters = std::move(act.waiters);
+  for (std::uint32_t i = 0; i < waiters.size(); ++i) {
+    Waiter& w = waiters[i];
     if (w.any != nullptr) {
       if (w.any->completed_index < 0) {
         w.any->completed_index = w.any_index;
@@ -494,9 +519,13 @@ void Engine::advance_to(double t) {
       continue;
     }
     a->remaining = 0.0;
-    finished_.push_back(running_[static_cast<std::size_t>(a->run_slot)]);
+    finished_.push_back(a);
   }
-  for (const ActivityPtr& a : finished_) {
+  for (Activity* const a : finished_) {
+    // Steal the running set's reference instead of copying it (one refcount
+    // round-trip per completion saved); the slot's hole is filled right away
+    // by remove_running, before complete() can re-enter.
+    const ActivityPtr keep = std::move(running_[static_cast<std::size_t>(a->run_slot)]);
     remove_running(*a);
     release_resources(*a);
     a->state = Activity::State::Done;

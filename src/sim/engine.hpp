@@ -32,7 +32,6 @@
 #pragma once
 
 #include <chrono>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -122,6 +121,30 @@ class WaitAnyAwaiter {
   int ready_index_ = -1;
 };
 
+/// FIFO of resumable coroutines.  The drain loop empties the queue on every
+/// engine step, so a flat vector with a consume index suffices — the storage
+/// snaps back to the front once drained, avoiding std::deque's block-map
+/// arithmetic on the per-wake hot path.
+class ReadyQueue {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+
+  void push_back(std::coroutine_handle<> h) { items_.push_back(h); }
+
+  std::coroutine_handle<> pop_front() {
+    const std::coroutine_handle<> h = items_[head_++];
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    }
+    return h;
+  }
+
+ private:
+  std::vector<std::coroutine_handle<>> items_;
+  std::size_t head_ = 0;
+};
+
 class Engine {
  public:
   /// The platform must outlive the engine.
@@ -142,7 +165,7 @@ class Engine {
   const MaxMinSolver::Counters& solver_counters() const { return solver_.counters(); }
   /// Activity blocks obtained from the system allocator; plateaus once the
   /// pool's working set is warm (see sim/pool.hpp).
-  std::uint64_t fresh_activity_allocations() const { return pool_->fresh_allocations(); }
+  std::uint64_t fresh_activity_allocations() const { return arena_.arena->pool.fresh_allocations(); }
 
   /// Create an actor pinned to (host, core). Returns its index.
   int spawn(std::string name, platform::HostId host, int core, ActorFn fn);
@@ -217,9 +240,34 @@ class Engine {
   void complete(Activity& act);
   void add_running(const ActivityPtr& act);
   void remove_running(Activity& act);
-  const platform::Route* cached_route(platform::HostId src, platform::HostId dst);
+  /// Route plus its precomputed bottleneck bandwidth (min over links).
+  struct CachedRoute {
+    const platform::Route* route = nullptr;
+    double min_bw = 0.0;
+  };
+  CachedRoute cached_route(platform::HostId src, platform::HostId dst);
   void emit_diagnoses() const;
   [[noreturn]] void report_deadlock() const;
+
+  /// Owns the activity arena.  Declared first so it is destroyed last: every
+  /// other member (actors' coroutine frames, the running set, waiter chains)
+  /// may hold ActivityPtrs whose release returns blocks to the arena.  If
+  /// handles still live outside the engine at that point, the arena is
+  /// orphaned instead and self-destructs on the last release.
+  struct ArenaOwner {
+    ActivityArena* arena = new ActivityArena();
+    ~ArenaOwner() {
+      if (arena->live == 0) {
+        delete arena;
+      } else {
+        arena->orphaned = true;
+      }
+    }
+    ArenaOwner() = default;
+    ArenaOwner(const ArenaOwner&) = delete;
+    ArenaOwner& operator=(const ArenaOwner&) = delete;
+  };
+  ArenaOwner arena_;
 
   const platform::Platform& platform_;
   EngineConfig config_;
@@ -231,7 +279,7 @@ class Engine {
   int alive_actors_ = 0;
   std::exception_ptr first_error_;
 
-  std::deque<std::coroutine_handle<>> ready_;
+  ReadyQueue ready_;
   std::vector<ActivityPtr> running_;
   TimeHeap heap_;
 
@@ -241,7 +289,12 @@ class Engine {
   std::vector<char> core_dirty_;       // load changed since last refresh
   std::vector<std::int32_t> dirty_cores_;
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<platform::Route>> route_cache_;
+  // Route cache: flat (src * host_count + dst)-indexed on platforms small
+  // enough for the table (the common case — one lookup is an array load, no
+  // hashing on the make_comm path); hash-keyed fallback above the threshold.
+  std::vector<CachedRoute> route_flat_;
+  std::unordered_map<std::uint64_t, CachedRoute> route_cache_;
+  std::vector<std::unique_ptr<platform::Route>> route_storage_;
   MaxMinSolver solver_;
   std::vector<Activity*> flow_acts_;   // solver flow id -> activity
   std::vector<Activity*> transfers_;   // comms past their latency phase; the
@@ -249,9 +302,9 @@ class Engine {
                                        // is a pure function of the event
                                        // sequence, identical across Resolve
                                        // modes)
-  std::vector<ActivityPtr> finished_;  // scratch: completions of one step
-
-  std::shared_ptr<PoolResource> pool_;
+  std::vector<Activity*> finished_;  // scratch: completions of one step (kept
+                                     // alive by their running_ slots until the
+                                     // completion loop steals the reference)
 
   bool running_loop_ = false;
 };

@@ -14,6 +14,23 @@ template <class V>
 std::size_t capacity_bytes(const V& v) {
   return v.capacity() * sizeof(typename V::value_type);
 }
+
+/// Ascending sort for the solver's id lists.  Components are tiny for
+/// point-to-point traffic (a handful of flows), so the common case takes an
+/// inlined insertion sort instead of paying std::sort's dispatch; the result
+/// is the same total order either way.
+inline void sort_ids(std::vector<int>& v) {
+  if (v.size() < 32) {
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      const int x = v[i];
+      std::size_t j = i;
+      for (; j > 0 && v[j - 1] > x; --j) v[j] = v[j - 1];
+      v[j] = x;
+    }
+    return;
+  }
+  std::sort(v.begin(), v.end());
+}
 }  // namespace
 
 void MaxMinSolver::reset_links(std::span<const platform::Link> links) {
@@ -22,9 +39,14 @@ void MaxMinSolver::reset_links(std::span<const platform::Link> links) {
   link_remaining_.resize(links.size());
   link_nflows_.assign(links.size(), 0);
   // A new platform invalidates the persistent flow set.
-  flows_.clear();
+  routes_.reset();
+  route_slots_.reset();
+  flow_cap_.clear();
+  flow_rate_.clear();
+  flow_active_.clear();
   free_ids_.clear();
-  link_flows_.assign(links.size(), {});
+  link_flows_.reset();
+  link_flows_.ensure_slots(links.size());
   active_count_ = 0;
   link_dirty_.assign(links.size(), 0);
   dirty_links_.clear();
@@ -123,51 +145,59 @@ void MaxMinSolver::mark_dirty(platform::LinkId l) {
 
 int MaxMinSolver::add_flow(std::span<const platform::LinkId> route, double cap) {
   TIR_ASSERT(cap > 0.0 && cap < kInf);
-  int id;
+  std::int32_t id;
   if (!free_ids_.empty()) {
     id = free_ids_.back();
     free_ids_.pop_back();
   } else {
-    id = static_cast<int>(flows_.size());
-    flows_.emplace_back();
+    id = routes_.make_slot();
+    route_slots_.make_slot();
+    flow_cap_.push_back(0.0);
+    flow_rate_.push_back(0.0);
+    flow_active_.push_back(0);
     flow_mark_.push_back(0);
   }
-  FlowRec& f = flows_[static_cast<std::size_t>(id)];
-  f.route.assign(route.begin(), route.end());
-  f.slots.resize(route.size());
-  f.cap = cap;
-  f.rate = 0.0;
-  f.active = true;
-  for (std::size_t p = 0; p < f.route.size(); ++p) {
-    const auto li = static_cast<std::size_t>(f.route[p]);
-    TIR_ASSERT(li < link_flows_.size());
-    f.slots[p] = static_cast<std::int32_t>(link_flows_[li].size());
-    link_flows_[li].push_back(LinkEntry{id, static_cast<std::int32_t>(p)});
-    mark_dirty(f.route[p]);
+  const auto fi = static_cast<std::size_t>(id);
+  routes_.assign(id, route);
+  const std::span<std::int32_t> slots =
+      route_slots_.resize_slot(id, static_cast<std::uint32_t>(route.size()));
+  flow_cap_[fi] = cap;
+  flow_rate_[fi] = 0.0;
+  flow_active_[fi] = 1;
+  for (std::size_t p = 0; p < route.size(); ++p) {
+    const platform::LinkId l = route[p];
+    const auto li = static_cast<std::int32_t>(l);
+    TIR_ASSERT(static_cast<std::size_t>(li) < link_flows_.slot_count());
+    slots[p] = static_cast<std::int32_t>(
+        link_flows_.append(li, LinkEntry{id, static_cast<std::int32_t>(p)}));
+    mark_dirty(l);
   }
   ++active_count_;
   return id;
 }
 
 void MaxMinSolver::remove_flow(int id) {
-  TIR_ASSERT(id >= 0 && static_cast<std::size_t>(id) < flows_.size());
-  FlowRec& f = flows_[static_cast<std::size_t>(id)];
-  TIR_ASSERT(f.active);
-  for (std::size_t p = 0; p < f.route.size(); ++p) {
-    const auto li = static_cast<std::size_t>(f.route[p]);
-    auto& list = link_flows_[li];
-    const auto slot = static_cast<std::size_t>(f.slots[p]);
-    TIR_ASSERT(slot < list.size() && list[slot].flow == id);
-    if (slot != list.size() - 1) {
-      list[slot] = list.back();
-      flows_[static_cast<std::size_t>(list[slot].flow)]
-          .slots[static_cast<std::size_t>(list[slot].pos)] = static_cast<std::int32_t>(slot);
+  TIR_ASSERT(id >= 0 && static_cast<std::size_t>(id) < flow_cap_.size());
+  const auto fi = static_cast<std::size_t>(id);
+  TIR_ASSERT(flow_active_[fi] != 0);
+  const std::span<const platform::LinkId> route = routes_.get(id);
+  const std::span<const std::int32_t> slots = route_slots_.get(id);
+  for (std::size_t p = 0; p < route.size(); ++p) {
+    const auto li = static_cast<std::int32_t>(route[p]);
+    const auto pos = static_cast<std::uint32_t>(slots[p]);
+    TIR_ASSERT(pos < link_flows_.size(li) && link_flows_.at(li, pos).flow == id);
+    // Swap-erase; if another entry was moved into the hole, fix its
+    // back-pointer.
+    if (const LinkEntry* const moved = link_flows_.swap_erase_get(li, pos)) {
+      route_slots_.at(moved->flow, static_cast<std::uint32_t>(moved->pos)) =
+          static_cast<std::int32_t>(pos);
     }
-    list.pop_back();
-    mark_dirty(f.route[p]);
+    mark_dirty(route[p]);
   }
-  f.active = false;
-  f.rate = 0.0;
+  routes_.clear_slot(id);
+  route_slots_.clear_slot(id);
+  flow_active_[fi] = 0;
+  flow_rate_[fi] = 0.0;
   --active_count_;
   free_ids_.push_back(id);
 }
@@ -178,30 +208,47 @@ void MaxMinSolver::collect_affected() {
   // in every flow crossing it; each such flow pulls in the rest of its
   // route; repeat.  The fixpoint is exactly the union of the connected
   // components touched by the mutations since the last solve.
+  //
+  // The BFS visits every component link and every component flow exactly
+  // once, so it doubles as the filling prepare pass: each first-seen link's
+  // scratch is reset here and each visited flow counts itself onto its
+  // links, leaving touched_links_/link_remaining_/link_nflows_ ready for
+  // run_filling() with no second pass over the routes.
   next_epoch();
   std::size_t head = 0;
   // dirty_links_ doubles as the BFS queue of links to expand.
-  for (const platform::LinkId l : dirty_links_) link_mark_[static_cast<std::size_t>(l)] = epoch_;
+  for (const platform::LinkId l : dirty_links_) {
+    const auto li = static_cast<std::size_t>(l);
+    link_mark_[li] = epoch_;
+    link_remaining_[li] = link_capacity_[li];
+    link_nflows_[li] = 0;
+  }
   while (head < dirty_links_.size()) {
-    const auto li = static_cast<std::size_t>(dirty_links_[head++]);
-    for (const LinkEntry& e : link_flows_[li]) {
+    const auto li = static_cast<std::int32_t>(dirty_links_[head++]);
+    for (const LinkEntry& e : link_flows_.get(li)) {
       const auto fi = static_cast<std::size_t>(e.flow);
       if (flow_mark_[fi] == epoch_) continue;
       flow_mark_[fi] = epoch_;
       affected_.push_back(e.flow);
-      for (const platform::LinkId l2 : flows_[fi].route) {
+      for (const platform::LinkId l2 : routes_.get(e.flow)) {
         const auto l2i = static_cast<std::size_t>(l2);
         if (link_mark_[l2i] != epoch_) {
           link_mark_[l2i] = epoch_;
+          link_remaining_[l2i] = link_capacity_[l2i];
+          link_nflows_[l2i] = 0;
           dirty_links_.push_back(l2);
         }
+        ++link_nflows_[l2i];
       }
     }
   }
   // A deterministic flow order makes the partial path reproduce the full
-  // path's arithmetic freeze-for-freeze (see solve_subset).
-  std::sort(affected_.begin(), affected_.end());
+  // path's arithmetic freeze-for-freeze (see run_filling).
+  sort_ids(affected_);
   for (const platform::LinkId l : dirty_links_) link_dirty_[static_cast<std::size_t>(l)] = 0;
+  // The expanded queue is exactly the component's link set: hand it to the
+  // filling rounds as the touched set.
+  std::swap(touched_links_, dirty_links_);
   dirty_links_.clear();
 }
 
@@ -209,8 +256,8 @@ std::span<const int> MaxMinSolver::solve_partial() {
   ++counters_.partial_solves;
   changed_.clear();
   if (dirty_links_.empty()) return changed_;
-  collect_affected();
-  solve_subset(affected_);
+  collect_affected();  // also prepares the link scratch (see its comment)
+  run_filling(affected_);
   return changed_;
 }
 
@@ -220,8 +267,8 @@ std::span<const int> MaxMinSolver::solve_all() {
   // Reference path: every active flow, ascending id, through the same
   // component-solve core the partial path uses.
   affected_.clear();
-  for (std::size_t i = 0; i < flows_.size(); ++i) {
-    if (flows_[i].active) affected_.push_back(static_cast<int>(i));
+  for (std::size_t i = 0; i < flow_active_.size(); ++i) {
+    if (flow_active_[i] != 0) affected_.push_back(static_cast<int>(i));
   }
   for (const platform::LinkId l : dirty_links_) link_dirty_[static_cast<std::size_t>(l)] = 0;
   dirty_links_.clear();
@@ -230,18 +277,15 @@ std::span<const int> MaxMinSolver::solve_all() {
 }
 
 void MaxMinSolver::solve_subset(std::span<const int> ids) {
-  const std::size_t nf = ids.size();
-  if (nf == 0) return;
-  counters_.flows_visited += nf;
-
   // Reset the per-link scratch for exactly the links the subset crosses.
   // Progressive filling never moves bandwidth between disconnected
   // components, so links outside the subset are irrelevant — this is what
   // makes the partial solve exact and O(component), not O(platform).
+  // (solve_partial() skips this pass: its BFS prepares the same state.)
   next_epoch();
   touched_links_.clear();
   for (const int id : ids) {
-    for (const platform::LinkId l : flows_[static_cast<std::size_t>(id)].route) {
+    for (const platform::LinkId l : routes_.get(id)) {
       const auto li = static_cast<std::size_t>(l);
       if (link_mark_[li] != epoch_) {
         link_mark_[li] = epoch_;
@@ -252,7 +296,17 @@ void MaxMinSolver::solve_subset(std::span<const int> ids) {
       ++link_nflows_[li];
     }
   }
+  run_filling(ids);
+}
 
+void MaxMinSolver::run_filling(std::span<const int> ids) {
+  const std::size_t nf = ids.size();
+  if (nf == 0) return;
+  counters_.flows_visited += nf;
+
+  // All per-flow state the rounds read (cap, rate, route) lives in flat
+  // struct-of-arrays storage keyed by flow id, so the scans below walk
+  // contiguous memory rather than chasing per-flow heap vectors.
   flow_frozen_.assign(nf, 0);
   std::size_t unfrozen = nf;
   while (unfrozen > 0) {
@@ -265,37 +319,39 @@ void MaxMinSolver::solve_subset(std::span<const int> ids) {
     }
     bool cap_binds = false;
     for (std::size_t i = 0; i < nf; ++i) {
-      if (flow_frozen_[i] == 0 && flows_[static_cast<std::size_t>(ids[i])].cap <= level) {
-        level = flows_[static_cast<std::size_t>(ids[i])].cap;
+      if (flow_frozen_[i] == 0 && flow_cap_[static_cast<std::size_t>(ids[i])] <= level) {
+        level = flow_cap_[static_cast<std::size_t>(ids[i])];
         cap_binds = true;
       }
     }
     TIR_ASSERT(level < kInf);
 
     bool froze_someone = false;
+    const double level_tol = level * (1.0 + 1e-12);
     for (std::size_t i = 0; i < nf; ++i) {
       if (flow_frozen_[i] != 0) continue;
-      FlowRec& f = flows_[static_cast<std::size_t>(ids[i])];
-      bool bound = cap_binds && f.cap <= level * (1.0 + 1e-12);
+      const auto fi = static_cast<std::size_t>(ids[i]);
+      const std::span<const platform::LinkId> route = routes_.get(ids[i]);
+      bool bound = cap_binds && flow_cap_[fi] <= level_tol;
       if (!bound) {
-        for (const platform::LinkId l : f.route) {
+        for (const platform::LinkId l : route) {
           const auto li = static_cast<std::size_t>(l);
-          if (link_remaining_[li] / link_nflows_[li] <= level * (1.0 + 1e-12)) {
+          if (link_remaining_[li] / link_nflows_[li] <= level_tol) {
             bound = true;
             break;
           }
         }
       }
       if (bound) {
-        if (f.rate != level) {
-          f.rate = level;
+        if (flow_rate_[fi] != level) {
+          flow_rate_[fi] = level;
           changed_.push_back(ids[i]);
           ++counters_.rate_changes;
         }
         flow_frozen_[i] = 1;
         froze_someone = true;
         --unfrozen;
-        for (const platform::LinkId l : f.route) {
+        for (const platform::LinkId l : route) {
           const auto li = static_cast<std::size_t>(l);
           link_remaining_[li] = std::max(0.0, link_remaining_[li] - level);
           --link_nflows_[li];
@@ -306,7 +362,7 @@ void MaxMinSolver::solve_subset(std::span<const int> ids) {
   }
   // changed_ accumulates in freeze order; hand it back sorted by id so the
   // engine's key updates are ordered identically on both solve paths.
-  std::sort(changed_.begin(), changed_.end());
+  sort_ids(changed_);
 }
 
 void MaxMinSolver::shrink_to_fit() {
@@ -316,25 +372,30 @@ void MaxMinSolver::shrink_to_fit() {
   flow_frozen_.clear();
   flow_frozen_.shrink_to_fit();
   // Registry: drop free slots entirely when no flow is active (the common
-  // between-traces case); otherwise just release their route capacity.
+  // between-traces case); otherwise repack the arenas — removed flows'
+  // slots were cleared at remove time, so repacking reclaims both their
+  // route storage and every relocation hole.
   if (active_count_ == 0) {
-    flows_.clear();
+    const std::size_t links = link_flows_.slot_count();
+    routes_.reset();
+    route_slots_.reset();
+    flow_cap_.clear();
+    flow_rate_.clear();
+    flow_active_.clear();
     free_ids_.clear();
     flow_mark_.clear();
+    link_flows_.reset();
+    link_flows_.ensure_slots(links);
   } else {
-    for (const int id : free_ids_) {
-      FlowRec& f = flows_[static_cast<std::size_t>(id)];
-      f.route.clear();
-      f.route.shrink_to_fit();
-      f.slots.clear();
-      f.slots.shrink_to_fit();
-    }
+    routes_.shrink_to_fit();
+    route_slots_.shrink_to_fit();
+    link_flows_.shrink_to_fit();
   }
-  flows_.shrink_to_fit();
+  flow_cap_.shrink_to_fit();
+  flow_rate_.shrink_to_fit();
+  flow_active_.shrink_to_fit();
   free_ids_.shrink_to_fit();
   flow_mark_.shrink_to_fit();
-  for (auto& list : link_flows_) list.shrink_to_fit();
-  link_flows_.shrink_to_fit();
   link_dirty_.shrink_to_fit();
   dirty_links_.shrink_to_fit();
   link_mark_.shrink_to_fit();
@@ -347,16 +408,13 @@ void MaxMinSolver::shrink_to_fit() {
 }
 
 std::size_t MaxMinSolver::scratch_bytes() const {
-  std::size_t total = capacity_bytes(link_capacity_) + capacity_bytes(link_remaining_) +
-                      capacity_bytes(link_nflows_) + capacity_bytes(flow_frozen_) +
-                      capacity_bytes(flows_) + capacity_bytes(free_ids_) +
-                      capacity_bytes(link_flows_) + capacity_bytes(link_dirty_) +
-                      capacity_bytes(dirty_links_) + capacity_bytes(link_mark_) +
-                      capacity_bytes(flow_mark_) + capacity_bytes(affected_) +
-                      capacity_bytes(touched_links_) + capacity_bytes(changed_);
-  for (const FlowRec& f : flows_) total += capacity_bytes(f.route) + capacity_bytes(f.slots);
-  for (const auto& list : link_flows_) total += capacity_bytes(list);
-  return total;
+  return capacity_bytes(link_capacity_) + capacity_bytes(link_remaining_) +
+         capacity_bytes(link_nflows_) + capacity_bytes(flow_frozen_) +
+         routes_.capacity_bytes() + route_slots_.capacity_bytes() + capacity_bytes(flow_cap_) +
+         capacity_bytes(flow_rate_) + capacity_bytes(flow_active_) + capacity_bytes(free_ids_) +
+         link_flows_.capacity_bytes() + capacity_bytes(link_dirty_) +
+         capacity_bytes(dirty_links_) + capacity_bytes(link_mark_) + capacity_bytes(flow_mark_) +
+         capacity_bytes(affected_) + capacity_bytes(touched_links_) + capacity_bytes(changed_);
 }
 
 }  // namespace tir::sim

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "platform/platform.hpp"
+#include "sim/pool.hpp"
 
 namespace tir::sim {
 
@@ -71,7 +72,7 @@ class MaxMinSolver {
   void remove_flow(int id);
 
   /// Rate assigned by the last solve that visited this flow.
-  double rate(int id) const { return flows_[static_cast<std::size_t>(id)].rate; }
+  double rate(int id) const { return flow_rate_[static_cast<std::size_t>(id)]; }
 
   /// Number of currently registered flows.
   std::size_t active_flows() const { return active_count_; }
@@ -107,13 +108,6 @@ class MaxMinSolver {
   const Counters& counters() const { return counters_; }
 
  private:
-  struct FlowRec {
-    std::vector<platform::LinkId> route;  // copy: spans from callers may die
-    std::vector<std::int32_t> slots;      // per route link: index in link_flows_
-    double cap = 0.0;
-    double rate = 0.0;
-    bool active = false;
-  };
   /// One entry of a link's membership list: the flow and which position of
   /// the flow's route this link is (so swap-erase can fix the moved entry's
   /// back-pointer in O(1)).
@@ -125,12 +119,15 @@ class MaxMinSolver {
   void next_epoch();
   void mark_dirty(platform::LinkId l);
   /// BFS over the bipartite flow/link graph from the dirty links; fills
-  /// affected_ with the reachable flow ids, sorted ascending.
+  /// affected_ with the reachable flow ids, sorted ascending, and prepares
+  /// touched_links_ and the per-link filling scratch as it goes.
   void collect_affected();
-  /// Progressive filling over `ids` (sorted ascending), assumed to be a
-  /// union of whole components.  Updates FlowRec::rate and appends the ids
-  /// whose rate changed to changed_.
+  /// Prepares the per-link scratch for `ids`' links, then run_filling().
   void solve_subset(std::span<const int> ids);
+  /// Progressive filling over `ids` (sorted ascending), assumed to be a
+  /// union of whole components whose link scratch is prepared.  Updates
+  /// flow_rate_ and appends the ids whose rate changed to changed_.
+  void run_filling(std::span<const int> ids);
 
   std::vector<double> link_capacity_;   // static capacities
   std::vector<double> link_remaining_;  // scratch: capacity left this solve
@@ -138,10 +135,19 @@ class MaxMinSolver {
   std::vector<char> flow_frozen_;       // scratch (batch solve: per flow;
                                         // subset solve: per subset position)
 
-  // Persistent sharing graph.
-  std::vector<FlowRec> flows_;
+  // Persistent sharing graph, struct-of-arrays.  A flow id keys four
+  // parallel structures: its route and per-link membership positions live as
+  // arena slots (one flat buffer each, no per-flow heap vectors), its cap
+  // and rate in plain parallel arrays.  Links mirror this: one arena slot of
+  // LinkEntry per link.  The re-solve loop then walks contiguous memory
+  // instead of chasing a vector-of-vectors.
+  SpanArena<platform::LinkId> routes_;   // per flow: links traversed
+  SpanArena<std::int32_t> route_slots_;  // per flow: index in link's members
+  std::vector<double> flow_cap_;
+  std::vector<double> flow_rate_;
+  std::vector<char> flow_active_;
   std::vector<int> free_ids_;
-  std::vector<std::vector<LinkEntry>> link_flows_;  // active flows per link
+  SpanArena<LinkEntry> link_flows_;  // per link: active flows crossing it
   std::size_t active_count_ = 0;
 
   // Dirty tracking and solve scratch.

@@ -30,6 +30,8 @@ World::World(sim::Engine& engine, Config config, std::vector<platform::HostId> r
     TIR_ASSERT(rank_cores_[r] >= 0 && rank_cores_[r] < h.cores);
   }
   ranks_.resize(rank_hosts_.size());
+  eager_done_ = engine_.make_gate();
+  engine_.complete_now(eager_done_);
 }
 
 std::vector<platform::HostId> World::scatter_hosts(const platform::Platform& p, int nprocs) {
@@ -70,25 +72,18 @@ void World::fulfil(const Message& msg, const Request& request) {
   engine_.chain(msg.comm, request);
 }
 
-sim::Coro World::copy_cost(sim::Ctx& ctx, double bytes) {
+sim::Coro World::send(sim::Ctx& ctx, int me, int dst, double bytes, int tag) {
+  const Request req = isend(ctx, me, dst, bytes, tag);
   if (config_.per_message_cpu_seconds > 0.0) {
     co_await ctx.sleep(config_.per_message_cpu_seconds);
   }
-  if (config_.model_copy_time && bytes > 0.0) {
-    co_await ctx.execute_at(bytes, config_.copy_rate);
-  }
-}
-
-sim::Coro World::send(sim::Ctx& ctx, int me, int dst, double bytes, int tag) {
-  const Request req = isend(ctx, me, dst, bytes, tag);
   if (is_eager(bytes)) {
     // Detached: the application only sees the duration of the local copy
     // (paper §3.3); the transfer proceeds without the sender.
-    co_await copy_cost(ctx, bytes);
-  } else {
-    if (config_.per_message_cpu_seconds > 0.0) {
-      co_await ctx.sleep(config_.per_message_cpu_seconds);
+    if (config_.model_copy_time && bytes > 0.0) {
+      co_await ctx.execute_at(bytes, config_.copy_rate);
     }
+  } else {
     co_await ctx.wait(req);
   }
 }
@@ -116,14 +111,10 @@ Request World::isend(sim::Ctx& ctx, int me, int dst, double bytes, int tag) {
   msg.comm = make_transfer(me, dst, bytes, /*start_now=*/!msg.rendezvous);
 
   // Request semantics: eager isend is complete as soon as the data left the
-  // user buffer (immediately, in simulated terms); rendezvous isend tracks
-  // the transfer.
-  Request req = engine_.make_gate();
-  if (!msg.rendezvous) {
-    engine_.complete_now(req);
-  } else {
-    engine_.chain(msg.comm, req);
-  }
+  // user buffer (immediately, in simulated terms) — the shared pre-completed
+  // gate stands for it; a rendezvous isend tracks the transfer, so the comm
+  // itself is the request (no per-message gate either way).
+  Request req = msg.rendezvous ? msg.comm : eager_done_;
 
   // MPI matching: earliest posted receive that accepts (src, tag).
   RankState& peer = ranks_[static_cast<std::size_t>(dst)];
@@ -145,17 +136,22 @@ Request World::irecv(sim::Ctx& ctx, int me, int src, double bytes, int tag) {
   (void)bytes;
   ++stats_.recvs;
   RankState& mine = ranks_[static_cast<std::size_t>(me)];
-  Request req = engine_.make_gate();
   // Earliest matching unexpected message wins (FIFO per source and tag).
+  // On a match the transfer itself is the request — waiting on the comm is
+  // equivalent to a gate chained to it, without the per-message gate.
   for (auto it = mine.unexpected.begin(); it != mine.unexpected.end(); ++it) {
     const bool src_ok = src == kAnySource || src == it->src;
     const bool tag_ok = tag == kAnyTag || tag == it->tag;
     if (src_ok && tag_ok) {
-      fulfil(*it, req);
+      if (it->rendezvous) engine_.start_activity(it->comm);
+      Request req = std::move(it->comm);
       mine.unexpected.erase(it);
       return req;
     }
   }
+  // No message yet: a gate is needed as the placeholder the future match
+  // chains onto (fulfil()).
+  Request req = engine_.make_gate();
   mine.posted.push_back(PostedRecv{src, tag, req});
   return req;
 }
@@ -165,10 +161,11 @@ sim::Coro World::recv(sim::Ctx& ctx, int me, int src, double bytes, int tag) {
   co_await ctx.wait(req);
   // Eager data lands in a runtime buffer; the receive pays the copy into the
   // user buffer (only modelled when the config says so).
-  if (bytes > 0.0 && is_eager(bytes)) {
-    co_await copy_cost(ctx, bytes);
-  } else if (config_.per_message_cpu_seconds > 0.0) {
+  if (config_.per_message_cpu_seconds > 0.0) {
     co_await ctx.sleep(config_.per_message_cpu_seconds);
+  }
+  if (bytes > 0.0 && is_eager(bytes) && config_.model_copy_time) {
+    co_await ctx.execute_at(bytes, config_.copy_rate);
   }
 }
 

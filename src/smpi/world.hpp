@@ -126,14 +126,15 @@ class World {
   sim::Coro allreduce_recursive_doubling(sim::Ctx& ctx, int me, double bytes, double compute);
   sim::Coro allreduce_ring(sim::Ctx& ctx, int me, double bytes, double compute);
 
-  sim::Coro copy_cost(sim::Ctx& ctx, double bytes);
-
   sim::Engine& engine_;
   Config config_;
   std::vector<platform::HostId> rank_hosts_;
   std::vector<int> rank_cores_;
   std::vector<RankState> ranks_;
   WorldStats stats_;
+  /// Shared pre-completed gate returned by every eager isend: the request is
+  /// complete the moment the call returns, so no per-message gate is needed.
+  Request eager_done_;
 };
 
 }  // namespace tir::smpi

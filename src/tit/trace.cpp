@@ -88,7 +88,22 @@ const char* action_name(ActionType t) {
 }
 
 std::string to_line(const Action& a) {
-  std::string out = "p" + std::to_string(a.proc) + " " + action_name(a.type);
+  // Built with appends, not operator+ chains: one growing buffer instead of
+  // a temporary per '+' (and GCC 12's -Wrestrict misfires on the inlined
+  // SSO copy of such chains, which -Werror builds would trip over).
+  std::string out;
+  out += 'p';
+  out += std::to_string(a.proc);
+  out += ' ';
+  out += action_name(a.type);
+  const auto add_volume = [&out](double v) {
+    out += ' ';
+    out += format_volume(v);
+  };
+  const auto add_partner = [&out](std::int32_t partner) {
+    out += " p";
+    out += std::to_string(partner);
+  };
   switch (a.type) {
     case ActionType::Init:
     case ActionType::Finalize:
@@ -97,33 +112,34 @@ std::string to_line(const Action& a) {
     case ActionType::Barrier:
       break;
     case ActionType::Compute:
-      out += " " + format_volume(a.volume);
+      add_volume(a.volume);
       break;
     case ActionType::Send:
     case ActionType::Isend:
     case ActionType::Irecv:
-      out += " p" + std::to_string(a.partner) + " " + format_volume(a.volume);
+      add_partner(a.partner);
+      add_volume(a.volume);
       break;
     case ActionType::Recv:
-      out += " p" + std::to_string(a.partner);
-      if (a.volume != kNoVolume) out += " " + format_volume(a.volume);
+      add_partner(a.partner);
+      if (a.volume != kNoVolume) add_volume(a.volume);
       break;
     case ActionType::Bcast:
     case ActionType::Gather:
     case ActionType::Scatter:
-      out += " " + format_volume(a.volume);
-      if (a.partner >= 0) out += " p" + std::to_string(a.partner);
+      add_volume(a.volume);
+      if (a.partner >= 0) add_partner(a.partner);
       break;
     case ActionType::Reduce:
-      out += " " + format_volume(a.volume) + " " + format_volume(a.volume2);
-      if (a.partner >= 0) out += " p" + std::to_string(a.partner);
+      add_volume(a.volume);
+      add_volume(a.volume2);
+      if (a.partner >= 0) add_partner(a.partner);
       break;
     case ActionType::AllReduce:
-      out += " " + format_volume(a.volume) + " " + format_volume(a.volume2);
-      break;
     case ActionType::AllToAll:
     case ActionType::AllGather:
-      out += " " + format_volume(a.volume) + " " + format_volume(a.volume2);
+      add_volume(a.volume);
+      add_volume(a.volume2);
       break;
   }
   return out;

@@ -286,6 +286,10 @@ bool Reader::advance_frame(int rank, Cursor& cursor) {
     }
     cursor.pos = 0;
     cursor.remaining = frame.actions;
+    cursor.batch.clear();
+    cursor.batch_pos = 0;
+    cursor.defer = nullptr;
+    cursor.trailing = false;
 
     // Prefetch the following frame while the disk is warm, budget permitting.
     if (cursor.next_frame < list.size()) {
@@ -309,6 +313,30 @@ bool Reader::advance_frame(int rank, Cursor& cursor) {
   return false;
 }
 
+void Reader::fill_batch(int rank, Cursor& cursor) {
+  cursor.batch.clear();
+  cursor.batch_pos = 0;
+  if (cursor.remaining == 0) return;
+  const std::uint64_t want = std::min<std::uint64_t>(
+      cursor.remaining, std::max<std::size_t>(options_.decode_batch, 1));
+  try {
+    for (std::uint64_t i = 0; i < want; ++i) {
+      cursor.batch.push_back(decode_action(cursor.payload.data(), cursor.payload.size(),
+                                           cursor.pos, static_cast<std::int32_t>(rank)));
+    }
+  } catch (const Error&) {
+    // Keep the cleanly decoded prefix; the error surfaces once it is served.
+    cursor.defer = std::current_exception();
+  }
+  // Decoded the frame's final action with bytes left over: flag it so the
+  // trailing-bytes diagnostic fires at that action's delivery, exactly where
+  // unbatched decoding reported it.
+  if (cursor.defer == nullptr && cursor.batch.size() == cursor.remaining &&
+      cursor.pos != cursor.payload.size()) {
+    cursor.trailing = true;
+  }
+}
+
 bool Reader::next(int rank, tit::Action& out) {
   if (rank < 0 || rank >= nprocs_) {
     throw Error("rank p" + std::to_string(rank) + " out of range (nprocs=" +
@@ -316,6 +344,31 @@ bool Reader::next(int rank, tit::Action& out) {
   }
   Cursor& cursor = cursors_[static_cast<std::size_t>(rank)];
   for (;;) {
+    if (cursor.batch_pos < cursor.batch.size()) {
+      out = cursor.batch[cursor.batch_pos++];
+      --cursor.remaining;
+      if (cursor.remaining == 0 && cursor.trailing) {
+        cursor.trailing = false;
+        if (!options_.recover) {
+          throw ParseError("frame payload size disagrees with its action count (rank p" +
+                           std::to_string(rank) + "): " + path_);
+        }
+        // Recovery: the delivered actions decoded cleanly; note the frame as
+        // damaged (trailing bytes) without retracting them.
+        ++skipped_frames_;
+      }
+      return true;
+    }
+    if (cursor.defer != nullptr) {
+      // The CRC passed but the payload stopped decoding (a writer bug or a
+      // collision-masked corruption) right after the actions already served:
+      // strict mode propagates (and keeps propagating on further calls),
+      // recovery abandons the rest of this frame and resyncs to the next one.
+      if (!options_.recover) std::rethrow_exception(cursor.defer);
+      cursor.defer = nullptr;
+      count_skip(rank, cursor.remaining);
+      cursor.remaining = 0;
+    }
     if (cursor.remaining == 0) {
       if (!advance_frame(rank, cursor)) {
         // Stream exhausted: release this cursor's buffers.
@@ -323,32 +376,12 @@ bool Reader::next(int rank, tit::Action& out) {
                                              cursor.prefetched.capacity()));
         release(cursor.payload);
         release(cursor.prefetched);
+        std::vector<tit::Action>().swap(cursor.batch);
+        cursor.batch_pos = 0;
         return false;
       }
     }
-    try {
-      out = decode_action(cursor.payload.data(), cursor.payload.size(), cursor.pos,
-                          static_cast<std::int32_t>(rank));
-    } catch (const Error&) {
-      // The CRC passed but the payload does not decode (a writer bug or a
-      // collision-masked corruption): strict mode propagates, recovery
-      // abandons the rest of this frame and resyncs to the next one.
-      if (!options_.recover) throw;
-      count_skip(rank, cursor.remaining);
-      cursor.remaining = 0;
-      continue;
-    }
-    --cursor.remaining;
-    if (cursor.remaining == 0 && cursor.pos != cursor.payload.size()) {
-      if (!options_.recover) {
-        throw ParseError("frame payload size disagrees with its action count (rank p" +
-                         std::to_string(rank) + "): " + path_);
-      }
-      // Recovery: the delivered actions decoded cleanly; note the frame as
-      // damaged (trailing bytes) without retracting them.
-      ++skipped_frames_;
-    }
-    return true;
+    fill_batch(rank, cursor);
   }
 }
 

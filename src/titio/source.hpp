@@ -95,12 +95,18 @@ class ActionSource {
 class MemorySource final : public ActionSource {
  public:
   explicit MemorySource(const tit::Trace& trace)
-      : trace_(trace), pos_(static_cast<std::size_t>(trace.nprocs()), 0) {}
+      : trace_(trace), pos_(static_cast<std::size_t>(trace.nprocs()), 0) {
+    // Per-rank sequences resolved once: next() is called once per replayed
+    // action, and the trace is fully materialized (and must not be mutated
+    // while this source reads it), so the lookup would be pure overhead.
+    seqs_.reserve(pos_.size());
+    for (int r = 0; r < trace.nprocs(); ++r) seqs_.push_back(&trace.actions(r));
+  }
 
   int nprocs() const override { return trace_.nprocs(); }
 
   bool next(int rank, tit::Action& out) override {
-    const std::vector<tit::Action>& seq = trace_.actions(rank);
+    const std::vector<tit::Action>& seq = *seqs_[static_cast<std::size_t>(rank)];
     std::size_t& i = pos_[static_cast<std::size_t>(rank)];
     if (i >= seq.size()) return false;
     out = seq[i++];
@@ -123,6 +129,7 @@ class MemorySource final : public ActionSource {
 
  private:
   const tit::Trace& trace_;
+  std::vector<const std::vector<tit::Action>*> seqs_;  // per-rank sequences
   std::vector<std::size_t> pos_;
 };
 

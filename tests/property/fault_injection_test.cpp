@@ -110,7 +110,9 @@ TEST_P(FaultInjection, ReaderNeverHangsOrServesGarbage) {
       // Fully drained: everything served plus everything skipped must add
       // up; strict mode may only drain if the damage missed the payloads.
       EXPECT_EQ(served + reader.skipped_actions(), reader.total_actions());
-      if (!recover) EXPECT_EQ(reader.skipped_actions(), 0u);
+      if (!recover) {
+        EXPECT_EQ(reader.skipped_actions(), 0u);
+      }
     } catch (const Error&) {
       // Typed rejection is a correct outcome; anything else propagates
       // out of the test as a failure (and a hang trips the ctest timeout).

@@ -166,6 +166,88 @@ TEST_P(IncrementalSolveProperty, PartialResolveMatchesBatchSolveRateForRate) {
 INSTANTIATE_TEST_SUITE_P(RandomMutationSeeds, IncrementalSolveProperty,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+// ---------- struct-of-arrays flow storage vs. solve_all reference --------
+//
+// Guards the solver's flat arena-backed storage (sim/pool.hpp SpanArena):
+// two persistent solvers are driven through the same random add/remove
+// sequence — one re-solving incrementally, one through solve_all() — with
+// id recycling and mid-sequence shrink_to_fit() repacks, and every rate
+// must stay bit-identical (==, not nearly-equal).  A back-pointer slip in
+// the swap-erase bookkeeping or a stale arena span after a repack shows up
+// here as a diverging rate long before it corrupts a replay.
+
+class SoaIncrementalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoaIncrementalProperty, PartialSolveBitIdenticalToSolveAllUnderChurn) {
+  rng::Sequence rand(GetParam());
+  const int n_links = 2 + static_cast<int>(rand.next_u64() % 8);
+
+  std::vector<platform::Link> links(static_cast<std::size_t>(n_links));
+  for (int l = 0; l < n_links; ++l) {
+    links[static_cast<std::size_t>(l)].id = l;
+    links[static_cast<std::size_t>(l)].bandwidth = rand.next_uniform(10.0, 1000.0);
+  }
+
+  MaxMinSolver partial;
+  partial.reset_links(links);
+  MaxMinSolver full;
+  full.reset_links(links);
+
+  struct Live {
+    int id;  // identical in both solvers: same mutation order, same recycling
+    std::vector<platform::LinkId> route;
+  };
+  std::vector<Live> live;
+
+  const int n_ops = 60;
+  for (int op = 0; op < n_ops; ++op) {
+    const bool add = live.empty() || rand.next_u64() % 3 != 0;
+    if (add) {
+      const int route_len = 1 + static_cast<int>(rand.next_u64() % std::min(n_links, 4));
+      std::vector<platform::LinkId> all(static_cast<std::size_t>(n_links));
+      std::iota(all.begin(), all.end(), 0);
+      for (int i = 0; i < route_len; ++i) {
+        const auto pick = i + static_cast<int>(rand.next_u64() % (all.size() - i));
+        std::swap(all[static_cast<std::size_t>(i)], all[static_cast<std::size_t>(pick)]);
+      }
+      Live f;
+      f.route.assign(all.begin(), all.begin() + route_len);
+      const double cap = rand.next_u64() % 4 == 0 ? rand.next_uniform(1.0, 100.0) : 1e18;
+      f.id = partial.add_flow(f.route, cap);
+      ASSERT_EQ(full.add_flow(f.route, cap), f.id);
+      live.push_back(std::move(f));
+    } else {
+      const auto victim = static_cast<std::size_t>(rand.next_u64() % live.size());
+      partial.remove_flow(live[victim].id);
+      full.remove_flow(live[victim].id);
+      live[victim] = std::move(live.back());
+      live.pop_back();
+    }
+    // Occasionally repack the arenas mid-sequence: every live route span and
+    // membership list relocates, and nothing may change observably.
+    if (rand.next_u64() % 11 == 0) {
+      partial.shrink_to_fit();
+      full.shrink_to_fit();
+    }
+    if (rand.next_u64() % 3 == 0) continue;  // let dirt accumulate
+    partial.solve_partial();
+    full.solve_all();
+    for (const Live& f : live) {
+      EXPECT_EQ(partial.rate(f.id), full.rate(f.id)) << "flow id " << f.id;
+    }
+  }
+  partial.solve_partial();
+  full.solve_all();
+  for (const Live& f : live) {
+    EXPECT_EQ(partial.rate(f.id), full.rate(f.id)) << "flow id " << f.id;
+  }
+  // The incremental leg must have genuinely solved less than the reference.
+  EXPECT_LE(partial.counters().flows_visited, full.counters().flows_visited);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChurnSeeds, SoaIncrementalProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
 // ---------- core time-sharing across widths ------------------------------
 
 class TimeShareProperty : public ::testing::TestWithParam<int> {};

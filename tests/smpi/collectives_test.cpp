@@ -256,7 +256,7 @@ TEST(SmpiCollectiveAlgos, RingAllreduceWinsForLargeVectors) {
     cfg.collectives = algos;
     World w(eng, cfg, World::scatter_hosts(p, n), std::vector<int>(n, 0));
     w.spawn_ranks([&](sim::Ctx& ctx, int me) -> sim::Coro {
-      co_await w.allreduce(ctx, me, 8e6, 0.0);
+      co_await w.allreduce(ctx, me, bytes, 0.0);
     });
     eng.run();
     return eng.now();
