@@ -12,7 +12,7 @@ comparison outright regardless of the baseline.
 Three report shapes are understood:
 
   * BENCH_replay_speed.json (eff_replay_speed) -- cases/streaming/kernel/
-    sink/sweep/seek sections, actions_per_second figures;
+    sink/sweep/mc_sweep/seek sections, actions_per_second figures;
   * BENCH_service.json (tird_bench) -- service legs, jobs_per_second;
   * BENCH_kernel.json (kernel_microbench via --benchmark_out) -- the
     google-benchmark JSON format: each entry of "benchmarks" that reports
@@ -65,6 +65,13 @@ def collect_rates(report):
         # only comparable against a baseline from equally-parallel hardware;
         # the drop thresholds still catch regressions on the same CI runner.
         rates[key + ".jobsN"] = sweep["jobsN"]["actions_per_second"]
+    mc = report.get("mc_sweep")
+    if mc:
+        key = "mc_sweep[{scenarios}x{replicates}]".format(**mc)
+        rates[key + ".jobs1"] = mc["jobs1"]["actions_per_second"]
+        # Same caveat as sweep.jobsN: comparable only on equally-parallel
+        # hardware, still a regression tripwire on the same CI runner.
+        rates[key + ".jobsN"] = mc["jobsN"]["actions_per_second"]
     seek = report.get("seek")
     if seek:
         # Checkpoint seeking: the cold leg is a full replay, the warm leg the
@@ -120,6 +127,15 @@ def check_gates(report):
             " (required {:.1f}x, identical_results={})".format(
                 sweep["speedup"], sweep["jobs"], sweep["hardware_concurrency"],
                 sweep["required_speedup"], sweep["identical_results"],
+            )
+        )
+    mc = report.get("mc_sweep")
+    if mc and not mc.get("pass", True):
+        failures.append(
+            "mc sweep: speedup {:.2f}x at jobs={} on {} cores"
+            " (required {:.1f}x, identical_aggregate={})".format(
+                mc["speedup"], mc["jobs"], mc["hardware_concurrency"],
+                mc["required_speedup"], mc["identical_aggregate"],
             )
         )
     seek = report.get("seek")

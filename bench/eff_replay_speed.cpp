@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,8 +35,10 @@
 #endif
 
 #include "ckpt/cursor.hpp"
+#include "core/mc_sweep.hpp"
 #include "core/replay.hpp"
 #include "core/sweep.hpp"
+#include "platform/model.hpp"
 #include "exp/experiments.hpp"
 #include "obs/sink.hpp"
 #include "obs/timeline.hpp"
@@ -98,6 +101,20 @@ struct SweepRecord {
   double speedup = 0;     ///< jobs1 wall / jobsN wall
   double required = 0;    ///< gate armed from the hardware (0 = informational)
   bool identical = false; ///< per-scenario results bitwise equal across legs
+  bool pass = false;
+};
+
+struct McRecord {
+  int scenarios = 0;          ///< label groups (the scenario list)
+  int replicates = 0;         ///< seeds per scenario
+  int jobs = 0;               ///< worker count of the parallel leg
+  unsigned hardware = 0;
+  double actions = 0;         ///< actions per replicate
+  double jobs1_wall = 0, jobs1_rate = 0;
+  double jobsN_wall = 0, jobsN_rate = 0;
+  double speedup = 0;
+  double required = 0;        ///< gate armed from the hardware (0 = informational)
+  bool identical = false;     ///< full JSON report (quantiles included) byte-equal
   bool pass = false;
 };
 
@@ -512,6 +529,88 @@ SweepRecord run_sweep_case(const exp::ClusterSetup& cluster) {
   return rec;
 }
 
+// Monte Carlo sweep (core::mc_sweep): a 16-replicate perturbation grid over
+// one shared LU trace, at 1 worker and at `jobs` workers.  The promise on
+// top of the plain sweep's: not only is every replicate bit-identical at any
+// worker count, the AGGREGATE — quantiles, CI, tornado-free summary — is
+// byte-identical in the rendered JSON report, because platform sampling is a
+// pure function of (seed, parameter identity) and the fold-back is in input
+// order.  Gate tiers mirror the sweep gate (>= 3x at 8+ cores, >= 2x at 4+,
+// >= 1.2x at 2+, informational on 1).
+McRecord run_mc_sweep_case(const exp::ClusterSetup& cluster) {
+  apps::LuConfig lu;
+  lu.cls = apps::nas_class('B');
+  lu.nprocs = 8;
+  lu.iterations_override = 25;
+  const apps::MachineModel machine(cluster.truth);
+  apps::AcquisitionConfig acq;
+  acq.granularity = hwc::Granularity::Minimal;
+  acq.compiler = hwc::kO3;
+  acq.emit_trace = true;
+  const apps::RunResult traced = apps::run_lu(lu, cluster.platform, machine, acq);
+  const titio::SharedTrace shared(traced.trace);
+
+  const auto base = std::make_shared<platform::Platform>(cluster.platform);
+  platform::PerturbationSpec spec;
+  spec.seed = 1;
+  spec.host_speed = {platform::Distribution::Kind::Uniform, 0.1};
+  spec.link_bandwidth = {platform::Distribution::Kind::LogNormal, 0.2};
+
+  core::McScenario sc;
+  sc.model = platform::PlatformModel(base, spec);
+  sc.config.rates = {cluster.truth.rate_in_cache};
+  sc.label = "mc";
+  const std::vector<core::McScenario> scenarios = {sc};
+
+  McRecord rec;
+  rec.scenarios = 1;
+  rec.replicates = 16;
+  rec.jobs = 8;
+  rec.hardware = std::thread::hardware_concurrency();
+  rec.actions = static_cast<double>(traced.trace.total_actions());
+  if (rec.hardware >= 8) {
+    rec.required = 3.0;
+  } else if (rec.hardware >= 4) {
+    rec.required = 2.0;
+  } else if (rec.hardware >= 2) {
+    rec.required = 1.2;
+  }
+
+  core::McOptions serial;
+  serial.replicates = rec.replicates;
+  serial.jobs = 1;
+  auto start = std::chrono::steady_clock::now();
+  const core::McReport one = core::mc_sweep(shared, scenarios, serial);
+  rec.jobs1_wall = seconds_since(start);
+
+  core::McOptions parallel_opts = serial;
+  parallel_opts.jobs = rec.jobs;
+  start = std::chrono::steady_clock::now();
+  const core::McReport many = core::mc_sweep(shared, scenarios, parallel_opts);
+  rec.jobsN_wall = seconds_since(start);
+
+  bool all_ok = true;
+  for (const core::McScenarioReport& sr : one.scenarios) all_ok = all_ok && sr.failures == 0;
+  rec.identical = core::mc_report_json(one) == core::mc_report_json(many);
+  const double total_actions = rec.actions * rec.replicates;
+  rec.jobs1_rate = total_actions / std::max(rec.jobs1_wall, 1e-9);
+  rec.jobsN_rate = total_actions / std::max(rec.jobsN_wall, 1e-9);
+  rec.speedup = rec.jobs1_wall / std::max(rec.jobsN_wall, 1e-9);
+  rec.pass = rec.identical && all_ok && (rec.required <= 0 || rec.speedup >= rec.required);
+
+  std::printf("\nMonte Carlo sweep (core::mc_sweep, %d scenario x %d replicates x %.0f actions,"
+              " %s):\n",
+              rec.scenarios, rec.replicates, rec.actions, spec.canonical().c_str());
+  std::printf("  jobs=1  %8.3fs %10.0f actions/s\n", rec.jobs1_wall, rec.jobs1_rate);
+  std::printf("  jobs=%-2d %8.3fs %10.0f actions/s\n", rec.jobs, rec.jobsN_wall, rec.jobsN_rate);
+  std::printf("  speedup %.2fx on %u-core host (gate >= %.1fx%s), aggregate %s -> %s\n",
+              rec.speedup, rec.hardware, rec.required,
+              rec.required <= 0 ? ", informational on 1 core" : "",
+              rec.identical ? "byte-identical" : "MISMATCH", rec.pass ? "PASS" : "FAIL");
+  std::fflush(stdout);
+  return rec;
+}
+
 // Checkpoint seeking (src/ckpt): extracting a LATE window of the timeline
 // must not cost a full replay.  One recording replay captures consistent-cut
 // snapshots; afterwards a cursor query of the last 2% of simulated time
@@ -614,7 +713,7 @@ long self_peak_rss_kib() {
 }
 
 void write_report(const std::string& path, const SinkRecord& sink, const SweepRecord& sweep,
-                  const SeekRecord& seek) {
+                  const McRecord& mc, const SeekRecord& seek) {
   std::ofstream out(path);
   out.precision(12);
   out << "{\n  \"bench\": \"replay_speed\",\n";
@@ -670,6 +769,20 @@ void write_report(const std::string& path, const SinkRecord& sink, const SweepRe
   out << "    \"required_speedup\": " << sweep.required << ",\n";
   out << "    \"identical_results\": " << (sweep.identical ? "true" : "false") << ",\n";
   out << "    \"pass\": " << (sweep.pass ? "true" : "false") << "\n  },\n";
+  out << "  \"mc_sweep\": {\n";
+  out << "    \"scenarios\": " << mc.scenarios << ",\n";
+  out << "    \"replicates\": " << mc.replicates << ",\n";
+  out << "    \"jobs\": " << mc.jobs << ",\n";
+  out << "    \"hardware_concurrency\": " << mc.hardware << ",\n";
+  out << "    \"actions_per_replicate\": " << mc.actions << ",\n";
+  out << "    \"jobs1\": {\"wall_seconds\": " << mc.jobs1_wall
+      << ", \"actions_per_second\": " << mc.jobs1_rate << "},\n";
+  out << "    \"jobsN\": {\"wall_seconds\": " << mc.jobsN_wall
+      << ", \"actions_per_second\": " << mc.jobsN_rate << "},\n";
+  out << "    \"speedup\": " << mc.speedup << ",\n";
+  out << "    \"required_speedup\": " << mc.required << ",\n";
+  out << "    \"identical_aggregate\": " << (mc.identical ? "true" : "false") << ",\n";
+  out << "    \"pass\": " << (mc.pass ? "true" : "false") << "\n  },\n";
   out << "  \"seek\": {\n";
   out << "    \"actions\": " << seek.actions << ",\n";
   out << "    \"checkpoints\": " << seek.checkpoints << ",\n";
@@ -729,9 +842,10 @@ int main() {
   for (const KernelRecord& k : g_kernels) kernels_pass = kernels_pass && k.pass;
 
   const SweepRecord sweep = run_sweep_case(bd);
+  const McRecord mc = run_mc_sweep_case(bd);
   const SeekRecord seek = run_seek_case(bd);
   const SinkRecord sink = run_sink_overhead(bd);
-  write_report("BENCH_replay_speed.json", sink, sweep, seek);
+  write_report("BENCH_replay_speed.json", sink, sweep, mc, seek);
   std::printf("\nmachine-readable report -> BENCH_replay_speed.json\n");
-  return sink.pass && kernels_pass && sweep.pass && seek.pass ? 0 : 1;
+  return sink.pass && kernels_pass && sweep.pass && mc.pass && seek.pass ? 0 : 1;
 }

@@ -12,14 +12,26 @@
 // -rate takes a comma-separated list of calibrated rates; more than one
 // turns the invocation into a core::sweep (one scenario per rate over the
 // shared trace, -jobs workers), reporting each scenario's prediction.
+//
+// -perturb runs the Monte Carlo variability engine instead of a point
+// prediction: the platform becomes a platform::PlatformModel sampled at
+// -mc-seeds replicate seeds (core::mc_sweep), the report shows quantiles,
+// -tornado adds the per-parameter sensitivity ranking, and -mc-report
+// writes the JSON report (docs/variability.md) to a file or '-' (stdout).
+//
+// Argument parsing is strict: unknown flags, malformed or missing values
+// and stray positionals print the usage and exit 2 — a typo must never
+// silently replay the wrong scenario (tests/cli/cli_args_test.cpp).
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "base/error.hpp"
+#include "core/mc_sweep.hpp"
 #include "core/sweep.hpp"
 #include "platform/clusters.hpp"
+#include "platform/model.hpp"
 #include "platform/parse.hpp"
 #include "tit/trace.hpp"
 #include "titio/shared.hpp"
@@ -29,10 +41,19 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-np N] [-platform FILE] [-rate INSTR_PER_S[,INSTR_PER_S...]]\n"
-               "          [-backend smpi|msg] [-contention] [-jobs N] TRACE_MANIFEST\n"
+               "          [-backend smpi|msg] [-contention] [-jobs N]\n"
+               "          [-perturb SPEC] [-mc-seeds N] [-tornado] [-mc-report FILE|-]\n"
+               "          TRACE_MANIFEST\n"
                "\n"
                "A comma-separated -rate list replays one scenario per rate over the\n"
                "shared trace on -jobs workers (default: hardware concurrency).\n"
+               "\n"
+               "-perturb SPEC samples the platform from seeded distributions instead\n"
+               "of replaying it verbatim (grammar: seed=S;link.bw=KIND:PARAM;\n"
+               "link.lat=KIND:PARAM;host.speed=KIND:PARAM with KIND uniform|normal|\n"
+               "lognormal; docs/variability.md).  -mc-seeds N (default 8) sets the\n"
+               "replicates per scenario, -tornado adds the one-at-a-time parameter\n"
+               "sensitivity ranking, -mc-report writes the JSON report.\n"
                "\n"
                "Exit status: 0 success, 2 usage, 10+code on failure where code is the\n"
                "tir::ErrorCode of the first failed scenario (10 generic, 11 parse,\n"
@@ -47,18 +68,34 @@ void usage(const char* argv0) {
 /// watchdog kill without parsing stderr.
 int exit_status(tir::ErrorCode code) { return 10 + static_cast<int>(code); }
 
-std::vector<double> parse_rates(const std::string& spec) {
-  std::vector<double> rates;
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+bool parse_int(const char* s, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_rates(const std::string& spec, std::vector<double>& rates) {
+  rates.clear();
   std::size_t begin = 0;
   while (begin <= spec.size()) {
     const std::size_t comma = spec.find(',', begin);
     const std::string item =
         spec.substr(begin, comma == std::string::npos ? std::string::npos : comma - begin);
-    if (!item.empty()) rates.push_back(std::atof(item.c_str()));
+    double rate = 0.0;
+    if (item.empty() || !parse_double(item.c_str(), rate)) return false;
+    rates.push_back(rate);
     if (comma == std::string::npos) break;
     begin = comma + 1;
   }
-  return rates;
+  return !rates.empty();
 }
 
 }  // namespace
@@ -67,38 +104,83 @@ int main(int argc, char** argv) {
   using namespace tir;
   int np = -1;
   int jobs = 0;  // 0 = hardware concurrency
+  int mc_seeds = 8;
   std::string platform_file;
   std::string manifest;
+  std::string perturb_spec;
+  std::string mc_report_path;
   std::vector<double> rates = {1e9};
   bool use_msg = false;
   bool contention = false;
+  bool tornado = false;
+  bool mc_seeds_set = false;
 
+  // Strict parsing: every branch either fully consumes a wellformed value
+  // or rejects with usage + exit 2.  `need` fails flags missing their value.
+  const auto need = [&](int i) { return i + 1 < argc; };
+  const auto reject = [&](const char* what, const char* got) {
+    std::fprintf(stderr, "%s: %s '%s'\n", argv[0], what, got);
+    usage(argv[0]);
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "-np" && i + 1 < argc) {
-      np = std::atoi(argv[++i]);
-    } else if (arg == "-platform" && i + 1 < argc) {
-      platform_file = argv[++i];
-    } else if (arg == "-rate" && i + 1 < argc) {
-      rates = parse_rates(argv[++i]);
-      if (rates.empty()) {
-        usage(argv[0]);
-        return 2;
+    if (arg == "-np" && need(i)) {
+      if (!parse_int(argv[++i], np) || np <= 0) {
+        return reject("-np wants a positive integer, got", argv[i]);
       }
-    } else if (arg == "-backend" && i + 1 < argc) {
-      use_msg = std::strcmp(argv[++i], "msg") == 0;
+    } else if (arg == "-platform" && need(i)) {
+      platform_file = argv[++i];
+    } else if (arg == "-rate" && need(i)) {
+      if (!parse_rates(argv[++i], rates)) {
+        return reject("-rate wants a comma-separated number list, got", argv[i]);
+      }
+    } else if (arg == "-backend" && need(i)) {
+      const std::string backend = argv[++i];
+      if (backend == "msg") {
+        use_msg = true;
+      } else if (backend == "smpi") {
+        use_msg = false;
+      } else {
+        return reject("unknown backend (expected smpi or msg)", backend.c_str());
+      }
     } else if (arg == "-contention") {
       contention = true;
-    } else if (arg == "-jobs" && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
-    } else if (arg[0] != '-') {
+    } else if (arg == "-jobs" && need(i)) {
+      if (!parse_int(argv[++i], jobs)) {
+        return reject("-jobs wants an integer, got", argv[i]);
+      }
+    } else if (arg == "-perturb" && need(i)) {
+      perturb_spec = argv[++i];
+      try {
+        (void)platform::PerturbationSpec::parse(perturb_spec);
+      } catch (const Error& e) {
+        return reject(e.what(), perturb_spec.c_str());
+      }
+    } else if (arg == "-mc-seeds" && need(i)) {
+      if (!parse_int(argv[++i], mc_seeds) || mc_seeds <= 0) {
+        return reject("-mc-seeds wants a positive integer, got", argv[i]);
+      }
+      mc_seeds_set = true;
+    } else if (arg == "-tornado") {
+      tornado = true;
+    } else if (arg == "-mc-report" && need(i)) {
+      mc_report_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      if (!manifest.empty()) {
+        return reject("unexpected extra argument", arg.c_str());
+      }
       manifest = arg;
     } else {
-      usage(argv[0]);
-      return 2;
+      return reject("unknown or incomplete option", arg.c_str());
     }
   }
   if (manifest.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  if ((tornado || mc_seeds_set || !mc_report_path.empty()) && perturb_spec.empty()) {
+    std::fprintf(stderr, "%s: -tornado/-mc-seeds/-mc-report need a -perturb spec\n", argv[0]);
     usage(argv[0]);
     return 2;
   }
@@ -107,7 +189,9 @@ int main(int argc, char** argv) {
     const titio::SharedTrace trace = titio::SharedTrace::load(manifest, {}, np);
     tit::validate(trace.trace());
 
-    platform::Platform platform;
+    auto owned = std::make_shared<platform::Platform>();
+    platform::Platform* const mutable_platform = owned.get();
+    const std::shared_ptr<const platform::Platform> platform = owned;
     if (platform_file.empty()) {
       // Default platform: one gigabit node per rank.
       platform::ClusterSpec spec;
@@ -116,18 +200,81 @@ int main(int argc, char** argv) {
       spec.core_speed = rates.front();
       spec.link_bandwidth = 1.25e8;
       spec.link_latency = 3e-5;
-      platform::build_flat_cluster(platform, spec);
+      platform::build_flat_cluster(*mutable_platform, spec);
       std::fprintf(stderr, "[tir_replay] no -platform given: using a default %d-node 1GbE cluster\n",
                    trace.nprocs());
     } else {
-      platform = platform::load_platform(platform_file);
+      *mutable_platform = platform::load_platform(platform_file);
     }
 
     const core::Backend backend = use_msg ? core::Backend::Msg : core::Backend::Smpi;
+    const tit::TraceStats ts = tit::stats(trace.trace());
+    std::printf("trace            : %s (%d processes, %zu actions)\n", manifest.c_str(),
+                trace.nprocs(), ts.actions);
+    std::printf("backend          : %s%s\n", use_msg ? "msg (old)" : "smpi (new)",
+                contention ? " + contention" : "");
+
+    // --- Monte Carlo path: -perturb turns the run into an mc_sweep ---------
+    if (!perturb_spec.empty()) {
+      const platform::PerturbationSpec spec = platform::PerturbationSpec::parse(perturb_spec);
+      std::vector<core::McScenario> scenarios;
+      for (const double rate : rates) {
+        core::McScenario sc;
+        sc.model = platform::PlatformModel(platform, spec);
+        sc.config.rates = {rate};
+        sc.config.sharing = contention ? sim::Sharing::MaxMin : sim::Sharing::Uncontended;
+        sc.backend = backend;
+        char label[64];
+        std::snprintf(label, sizeof label, "rate=%g", rate);
+        sc.label = label;
+        scenarios.push_back(std::move(sc));
+      }
+      core::McOptions options;
+      options.replicates = mc_seeds;
+      options.jobs = jobs;
+      options.tornado = tornado;
+      const core::McReport report = core::mc_sweep(trace, scenarios, options);
+
+      std::printf("perturbation     : %s (%d replicates)\n", spec.canonical().c_str(),
+                  mc_seeds);
+      int failures = 0;
+      ErrorCode first_failure = ErrorCode::Generic;
+      for (const core::McScenarioReport& sr : report.scenarios) {
+        const obs::DistributionSummary& d = sr.simulated_time;
+        std::printf("%-24s : median %.6f s  mean %.6f s  [p5 %.6f, p95 %.6f]  "
+                    "ci95 [%.6f, %.6f]  n=%zu\n",
+                    sr.label.c_str(), d.p50, d.mean, d.p5, d.p95, d.ci95_lo, d.ci95_hi, d.n);
+        for (const core::McReplicate& rep : sr.replicates) {
+          if (rep.outcome.ok) continue;
+          std::fprintf(stderr, "tir_replay: %s: [%s] %s\n", rep.outcome.label.c_str(),
+                       error_code_name(rep.outcome.error_code), rep.outcome.error.c_str());
+          if (failures == 0) first_failure = rep.outcome.error_code;
+          ++failures;
+        }
+        for (const obs::TornadoEntry& bar : sr.tornado.entries) {
+          std::printf("  tornado %-12s : swing %.6f s  [%.6f, %.6f]\n", bar.parameter.c_str(),
+                      bar.swing, bar.metric.min, bar.metric.max);
+        }
+      }
+      if (!mc_report_path.empty()) {
+        const std::string json = core::mc_report_json(report);
+        if (mc_report_path == "-") {
+          std::printf("%s\n", json.c_str());
+        } else {
+          std::FILE* f = std::fopen(mc_report_path.c_str(), "w");
+          if (f == nullptr) throw Error("cannot write mc report: " + mc_report_path);
+          std::fputs(json.c_str(), f);
+          std::fputc('\n', f);
+          std::fclose(f);
+        }
+      }
+      return failures == 0 ? 0 : exit_status(first_failure);
+    }
+
     std::vector<core::Scenario> scenarios;
     for (const double rate : rates) {
       core::Scenario sc;
-      sc.platform = &platform;
+      sc.platform = platform;
       sc.config.rates = {rate};
       sc.config.sharing = contention ? sim::Sharing::MaxMin : sim::Sharing::Uncontended;
       sc.backend = backend;
@@ -140,12 +287,6 @@ int main(int argc, char** argv) {
     core::SweepOptions options;
     options.jobs = jobs;
     const std::vector<core::ScenarioOutcome> outcomes = core::sweep(trace, scenarios, options);
-
-    const tit::TraceStats ts = tit::stats(trace.trace());
-    std::printf("trace            : %s (%d processes, %zu actions)\n", manifest.c_str(),
-                trace.nprocs(), ts.actions);
-    std::printf("backend          : %s%s\n", use_msg ? "msg (old)" : "smpi (new)",
-                contention ? " + contention" : "");
 
     int failures = 0;
     ErrorCode first_failure = ErrorCode::Generic;

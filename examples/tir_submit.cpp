@@ -13,6 +13,7 @@
 // a server verdict; note 11 also happens to be 10+parse-error for job
 // failures — scripts needing the distinction read stderr), 10+code on a
 // failed job or scenario.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 
 #include "base/error.hpp"
 #include "platform/clusters.hpp"
+#include "platform/model.hpp"
 #include "svc/client.hpp"
 
 namespace {
@@ -32,12 +34,19 @@ void usage(const char* argv0) {
                "          [-watchdog SECONDS] [-metrics]\n"
                "          [-calibrate classic|cache-aware|auto] [-truth bordereau|graphene]\n"
                "          [-class A-H] [-retries N] [-deadline SECONDS] [-seed S]\n"
-               "          [-json] [-v] TRACE\n"
+               "          [-perturb SPEC] [-mc-seeds N] [-json] [-v] TRACE\n"
                "       %s -connect ENDPOINT -ping|-stats|-flush|-shutdown\n"
                "\n"
                "Each -rate becomes one scenario; with -calibrate and no -rate the\n"
                "daemon's calibrated rate is used (and cached server-side).  -json\n"
                "echoes the raw response lines instead of the human summary.\n"
+               "\n"
+               "-perturb SPEC samples the platform server-side from seeded\n"
+               "distributions (grammar: seed=S;link.bw=KIND:PARAM;link.lat=KIND:PARAM;\n"
+               "host.speed=KIND:PARAM, KIND uniform|normal|lognormal) and -mc-seeds N\n"
+               "expands every scenario over N replicate seeds; the done line carries\n"
+               "the aggregate quantiles as an \"mc\" report (docs/variability.md),\n"
+               "printed by -json or summarized per scenario group.\n"
                "\n"
                "Resilience: -retries N (default 5) retries rejected/transport-failed\n"
                "submits with seeded decorrelated-jitter backoff (-seed, default 1),\n"
@@ -61,6 +70,27 @@ int exit_status(const std::string& code_name) {
   return 10;
 }
 
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+bool parse_int(const char* s, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_uint64(const char* s, std::uint64_t& out) {
+  if (s[0] == '-') return false;
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,64 +105,123 @@ int main(int argc, char** argv) {
   std::vector<double> rates;
   svc::ScenarioSpec base;
 
+  // Strict parsing: unknown flags, flags missing their value and malformed
+  // numbers reject with usage + exit 2 (tests/cli/cli_args_test.cpp) — a
+  // typo must never submit the wrong job to a live daemon.
+  const auto need = [&](int i) { return i + 1 < argc; };
+  const auto reject = [&](const char* what, const char* got) {
+    std::fprintf(stderr, "%s: %s '%s'\n", argv[0], what, got);
+    usage(argv[0]);
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "-connect" && i + 1 < argc) {
+    if (arg == "-connect" && need(i)) {
       endpoint = argv[++i];
     } else if (arg == "-ping" || arg == "-stats" || arg == "-flush" || arg == "-shutdown") {
       op = arg.substr(1);
-    } else if (arg == "-np" && i + 1 < argc) {
-      request.nprocs = std::atoi(argv[++i]);
-    } else if (arg == "-platform" && i + 1 < argc) {
+    } else if (arg == "-np" && need(i)) {
+      if (!parse_int(argv[++i], request.nprocs) || request.nprocs <= 0) {
+        return reject("-np wants a positive integer, got", argv[i]);
+      }
+    } else if (arg == "-platform" && need(i)) {
       request.platform = argv[++i];
-    } else if (arg == "-rate" && i + 1 < argc) {
+    } else if (arg == "-rate" && need(i)) {
       const std::string spec = argv[++i];
+      rates.clear();
       std::size_t begin = 0;
       while (begin <= spec.size()) {
         const std::size_t comma = spec.find(',', begin);
         const std::string item =
             spec.substr(begin, comma == std::string::npos ? std::string::npos : comma - begin);
-        if (!item.empty()) rates.push_back(std::atof(item.c_str()));
+        double rate = 0.0;
+        if (item.empty() || !parse_double(item.c_str(), rate)) {
+          return reject("-rate wants a comma-separated number list, got", spec.c_str());
+        }
+        rates.push_back(rate);
         if (comma == std::string::npos) break;
         begin = comma + 1;
       }
-    } else if (arg == "-backend" && i + 1 < argc) {
-      base.backend = std::strcmp(argv[++i], "msg") == 0 ? core::Backend::Msg
-                                                        : core::Backend::Smpi;
+    } else if (arg == "-backend" && need(i)) {
+      const std::string backend = argv[++i];
+      if (backend == "msg") {
+        base.backend = core::Backend::Msg;
+      } else if (backend == "smpi") {
+        base.backend = core::Backend::Smpi;
+      } else {
+        return reject("unknown backend (expected smpi or msg)", backend.c_str());
+      }
     } else if (arg == "-contention") {
       base.contention = true;
-    } else if (arg == "-watchdog" && i + 1 < argc) {
-      base.watchdog_seconds = std::atof(argv[++i]);
+    } else if (arg == "-watchdog" && need(i)) {
+      if (!parse_double(argv[++i], base.watchdog_seconds) || base.watchdog_seconds < 0) {
+        return reject("-watchdog wants a non-negative number of seconds, got", argv[i]);
+      }
     } else if (arg == "-metrics") {
       request.metrics = true;
-    } else if (arg == "-calibrate" && i + 1 < argc) {
+    } else if (arg == "-calibrate" && need(i)) {
+      const std::string procedure = argv[++i];
+      if (procedure != "classic" && procedure != "cache-aware" && procedure != "auto") {
+        return reject("unknown calibration procedure", procedure.c_str());
+      }
       request.calibrate = true;
-      request.calibration.procedure = argv[++i];
-    } else if (arg == "-truth" && i + 1 < argc) {
+      request.calibration.procedure = procedure;
+    } else if (arg == "-truth" && need(i)) {
       const std::string name = argv[++i];
+      if (name != "bordereau" && name != "graphene") {
+        return reject("unknown truth machine (expected bordereau or graphene)", name.c_str());
+      }
       request.calibrate = true;
       request.calibration.truth = name == "bordereau" ? platform::bordereau_truth()
                                                       : platform::graphene_truth();
-    } else if (arg == "-class" && i + 1 < argc) {
-      request.calibration.instance_class = argv[++i][0];
-    } else if (arg == "-retries" && i + 1 < argc) {
-      policy.max_attempts = std::atoi(argv[++i]);
-    } else if (arg == "-deadline" && i + 1 < argc) {
-      policy.deadline_seconds = std::atof(argv[++i]);
-    } else if (arg == "-seed" && i + 1 < argc) {
-      policy.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "-class" && need(i)) {
+      const std::string cls = argv[++i];
+      if (cls.size() != 1 || cls[0] < 'A' || cls[0] > 'H') {
+        return reject("-class wants a single letter A-H, got", cls.c_str());
+      }
+      request.calibration.instance_class = cls[0];
+    } else if (arg == "-retries" && need(i)) {
+      if (!parse_int(argv[++i], policy.max_attempts) || policy.max_attempts <= 0) {
+        return reject("-retries wants a positive integer, got", argv[i]);
+      }
+    } else if (arg == "-deadline" && need(i)) {
+      if (!parse_double(argv[++i], policy.deadline_seconds) || policy.deadline_seconds < 0) {
+        return reject("-deadline wants a non-negative number of seconds, got", argv[i]);
+      }
+    } else if (arg == "-seed" && need(i)) {
+      if (!parse_uint64(argv[++i], policy.seed)) {
+        return reject("-seed wants an unsigned integer, got", argv[i]);
+      }
+    } else if (arg == "-perturb" && need(i)) {
+      request.perturb = argv[++i];
+      try {
+        (void)platform::PerturbationSpec::parse(request.perturb);
+      } catch (const Error& e) {
+        return reject(e.what(), request.perturb.c_str());
+      }
+    } else if (arg == "-mc-seeds" && need(i)) {
+      if (!parse_int(argv[++i], request.mc_replicates) || request.mc_replicates <= 0) {
+        return reject("-mc-seeds wants a positive integer, got", argv[i]);
+      }
     } else if (arg == "-json") {
       json_output = true;
     } else if (arg == "-v") {
       verbose = true;
-    } else if (arg[0] != '-') {
+    } else if (!arg.empty() && arg[0] != '-') {
+      if (!request.trace.empty()) {
+        return reject("unexpected extra argument", arg.c_str());
+      }
       request.trace = arg;
     } else {
-      usage(argv[0]);
-      return 2;
+      return reject("unknown or incomplete option", arg.c_str());
     }
   }
   if (endpoint.empty() || (op.empty() && request.trace.empty())) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (request.mc_replicates > 0 && request.perturb.empty()) {
+    std::fprintf(stderr, "%s: -mc-seeds needs a -perturb spec\n", argv[0]);
     usage(argv[0]);
     return 2;
   }
@@ -220,6 +309,21 @@ int main(int argc, char** argv) {
       }
     }
     if (!json_output) {
+      // A Monte Carlo job's done line carries the aggregate per scenario
+      // group; summarize it like replay_cli's -perturb output.
+      const svc::Json mc = result.epilogue.get("mc");
+      if (mc.is_object()) {
+        const svc::Json groups = mc.get("scenarios");
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+          const svc::Json& group = groups.at(g);
+          std::printf("%-24s : median %.6f s  mean %.6f s  [p5 %.6f, p95 %.6f]  "
+                      "ci95 [%.6f, %.6f]  n=%.0f\n",
+                      group.str_or("label", "?").c_str(), group.num_or("p50", 0.0),
+                      group.num_or("mean", 0.0), group.num_or("p5", 0.0),
+                      group.num_or("p95", 0.0), group.num_or("ci95_lo", 0.0),
+                      group.num_or("ci95_hi", 0.0), group.num_or("n", 0.0));
+        }
+      }
       std::printf("job %llu: %s cache, queue %.3f ms, decode %.3f ms, "
                   "calibrate %.3f ms, replay %.3f ms\n",
                   static_cast<unsigned long long>(result.id),

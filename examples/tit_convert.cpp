@@ -37,10 +37,11 @@ int text2bin(const std::string& manifest_path, const std::string& out_path, int 
   const std::vector<std::string> files = tit::read_manifest(manifest_path);
   const bool shared = files.size() == 1;
   if (shared && nprocs <= 0) {
+    // A usage error, not an I/O one: the invocation is missing an argument.
     std::fprintf(stderr,
                  "tit-convert: single-file manifest %s needs an explicit NPROCS argument\n",
                  manifest_path.c_str());
-    return 1;
+    return 2;
   }
   const int count = shared ? nprocs : static_cast<int>(files.size());
   const fs::path base_dir = fs::path(manifest_path).parent_path();
@@ -120,6 +121,17 @@ int validate(const std::string& path, int nprocs) {
 
 }  // namespace
 
+/// Strict NPROCS parse: a positive decimal integer or nothing.  atoi-style
+/// leniency ("8x" -> 8, "banana" -> 0) would silently convert the wrong
+/// number of ranks.
+bool parse_nprocs(const char* s, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v <= 0) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: tit-convert text2bin TRACE.manifest OUT.titb [NPROCS]\n"
@@ -127,14 +139,36 @@ int main(int argc, char** argv) {
       "       tit-convert info     IN.titb\n"
       "       tit-convert validate TRACE.manifest|IN.titb [NPROCS]\n";
   try {
+    // No flags in this tool: anything dash-prefixed is a usage error, not a
+    // file name to be consumed by accident.
+    for (int i = 1; i < argc; ++i) {
+      if (argv[i][0] == '-' && argv[i][1] != '\0') {
+        std::fprintf(stderr, "tit-convert: unknown option '%s'\n", argv[i]);
+        std::fputs(usage.c_str(), stderr);
+        return 2;
+      }
+    }
     const std::string mode = argc > 1 ? argv[1] : "";
+    int nprocs = -1;
     if (mode == "text2bin" && (argc == 4 || argc == 5)) {
-      return text2bin(argv[2], argv[3], argc == 5 ? std::atoi(argv[4]) : -1);
+      if (argc == 5 && !parse_nprocs(argv[4], nprocs)) {
+        std::fprintf(stderr, "tit-convert: NPROCS wants a positive integer, got '%s'\n",
+                     argv[4]);
+        std::fputs(usage.c_str(), stderr);
+        return 2;
+      }
+      return text2bin(argv[2], argv[3], nprocs);
     }
     if (mode == "bin2text" && argc == 5) return bin2text(argv[2], argv[3], argv[4]);
     if (mode == "info" && argc == 3) return info(argv[2]);
     if (mode == "validate" && (argc == 3 || argc == 4)) {
-      return validate(argv[2], argc == 4 ? std::atoi(argv[3]) : -1);
+      if (argc == 4 && !parse_nprocs(argv[3], nprocs)) {
+        std::fprintf(stderr, "tit-convert: NPROCS wants a positive integer, got '%s'\n",
+                     argv[3]);
+        std::fputs(usage.c_str(), stderr);
+        return 2;
+      }
+      return validate(argv[2], nprocs);
     }
     std::fputs(usage.c_str(), stderr);
     return 2;

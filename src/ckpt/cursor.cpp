@@ -157,7 +157,7 @@ WindowSweepResult window_sweep(const titio::SharedTrace& trace,
   std::unordered_map<std::uint64_t, CheckpointSet> sets;
   std::vector<std::uint64_t> fp(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    if (scenarios[i].platform == nullptr) continue;  // core::sweep reports it
+    if (!scenarios[i].platform) continue;  // core::sweep reports it
     fp[i] = scenario_fingerprint(scenarios[i].backend, *scenarios[i].platform,
                                  scenarios[i].config);
     if (sets.count(fp[i]) != 0) continue;

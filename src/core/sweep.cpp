@@ -28,7 +28,7 @@ ScenarioOutcome run_scenario(const titio::SharedTrace& trace, const Scenario& sc
   ScenarioOutcome outcome;
   outcome.label = scenario.label;
   try {
-    if (scenario.platform == nullptr) {
+    if (!scenario.platform) {
       throw ConfigError("sweep scenario '" + scenario.label + "' has a null platform");
     }
     titio::SharedTrace::Cursor cursor = trace.cursor();

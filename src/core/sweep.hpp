@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/replay.hpp"
+#include "platform/model.hpp"
 #include "titio/shared.hpp"
 
 namespace tir::core {
@@ -76,11 +77,15 @@ class CancelToken {
 };
 
 /// One cell of a sweep grid: where (platform) and how (config, backend) to
-/// replay the shared trace.  The platform is borrowed const — it must
-/// outlive the sweep call and may be shared by any number of scenarios
-/// (platform::Platform is immutable after construction).
+/// replay the shared trace.  The platform is a platform::PlatformRef —
+/// either borrowed const (assign `&platform` as before: it must outlive the
+/// sweep call and may be shared by any number of scenarios, Platform being
+/// immutable after construction) or owned (assign the shared_ptr a
+/// PlatformModel::instantiate() returned: the scenario keeps the sampled
+/// instance alive by itself, which is how core::mc_sweep and the service
+/// plumb per-seed platforms through an unchanged sweep).
 struct Scenario {
-  const platform::Platform* platform = nullptr;
+  platform::PlatformRef platform;
   ReplayConfig config{};
   Backend backend = Backend::Smpi;
   std::string label;

@@ -1,9 +1,73 @@
 #include "obs/sweep.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace tir::obs {
+
+namespace {
+
+/// Type-7 interpolated quantile of an already-sorted sample vector.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  const std::size_t n = sorted.size();
+  if (n == 0) return 0.0;
+  if (n == 1) return sorted[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+DistributionSummary summarize(std::vector<double> samples) {
+  DistributionSummary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (const double v : samples) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p5 = quantile_sorted(samples, 0.05);
+  s.p25 = quantile_sorted(samples, 0.25);
+  s.p50 = quantile_sorted(samples, 0.50);
+  s.p75 = quantile_sorted(samples, 0.75);
+  s.p95 = quantile_sorted(samples, 0.95);
+  const double half = 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n));
+  s.ci95_lo = s.mean - half;
+  s.ci95_hi = s.mean + half;
+  return s;
+}
+
+TornadoReport tornado(
+    double baseline,
+    const std::vector<std::pair<std::string, std::vector<double>>>& per_parameter_samples) {
+  TornadoReport report;
+  report.baseline = baseline;
+  report.entries.reserve(per_parameter_samples.size());
+  for (const auto& [parameter, samples] : per_parameter_samples) {
+    TornadoEntry entry;
+    entry.parameter = parameter;
+    entry.metric = summarize(samples);
+    entry.swing = entry.metric.max - entry.metric.min;
+    report.entries.push_back(std::move(entry));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const TornadoEntry& a, const TornadoEntry& b) {
+              if (a.swing != b.swing) return a.swing > b.swing;
+              return a.parameter < b.parameter;
+            });
+  return report;
+}
 
 void SweepAggregator::record(std::size_t index, std::string label, MetricsReport report,
                              JobTiming timing) {
@@ -41,6 +105,16 @@ SweepAggregator::Summary SweepAggregator::summary() const {
     s.max_queue_wait = std::max(s.max_queue_wait, e.timing.queue_wait_seconds);
   }
   return s;
+}
+
+DistributionSummary SweepAggregator::simulated_time_distribution() const {
+  std::vector<double> samples;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    samples.reserve(entries_.size());
+    for (const Entry& e : entries_) samples.push_back(e.report.simulated_time);
+  }
+  return summarize(std::move(samples));
 }
 
 std::size_t SweepAggregator::size() const {

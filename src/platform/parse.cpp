@@ -41,17 +41,42 @@ class Fields {
     return it == fields_.end() ? fallback : it->second;
   }
 
-  double bandwidth(const std::string& key) const { return units::parse_bandwidth(get(key)); }
-  double duration(const std::string& key) const { return units::parse_duration(get(key)); }
+  double bandwidth(const std::string& key) const {
+    const double v = units::parse_bandwidth(get(key));
+    if (!(v > 0.0)) semantic(key, "bandwidth must be positive");
+    return v;
+  }
+  double duration(const std::string& key) const {
+    const double v = units::parse_duration(get(key));
+    if (!(v >= 0.0)) semantic(key, "latency must be non-negative");
+    return v;
+  }
   double bytes(const std::string& key) const {
     return static_cast<double>(units::parse_bytes(get(key)));
   }
   long integer(const std::string& key) const {
     return static_cast<long>(str::to_u64(get(key), key));
   }
+  long count(const std::string& key) const {
+    const long v = integer(key);
+    if (v < 1) semantic(key, "count must be at least 1");
+    return v;
+  }
   double number(const std::string& key) const { return str::to_double(get(key), key); }
+  double speed(const std::string& key) const {
+    const double v = number(key);
+    if (!(v > 0.0)) semantic(key, "compute rate must be positive");
+    return v;
+  }
 
  private:
+  /// A field that parses but describes an impossible machine: a typed
+  /// ConfigError naming the offending `key=value` token and its line.
+  [[noreturn]] void semantic(const std::string& key, const char* why) const {
+    throw ConfigError("line " + std::to_string(line_) + ": " + why + ", got '" + key + "=" +
+                      get(key) + "'");
+  }
+
   std::map<std::string, std::string> fields_;
   int line_;
 };
@@ -95,9 +120,13 @@ Platform parse_platform(std::istream& in) {
     } else if (kind == "host") {
       if (tokens.size() < 2) throw ParseError("line " + std::to_string(line) + ": host needs a name");
       const std::string name(tokens[1]);
+      if (p.has_host(name)) {
+        throw ConfigError("line " + std::to_string(line) + ": duplicate host name '" + name +
+                          "'");
+      }
       const Fields f(tokens, 2, line);
-      const HostId h = p.add_host(name, static_cast<int>(f.integer("cores")), f.number("speed"),
-                                  f.bytes("l2"));
+      const HostId h =
+          p.add_host(name, static_cast<int>(f.count("cores")), f.speed("speed"), f.bytes("l2"));
       if (f.has("switch")) {
         const auto it = switch_names.find(f.get("switch"));
         if (it == switch_names.end()) {
@@ -137,9 +166,9 @@ Platform parse_platform(std::istream& in) {
       const Fields f(tokens, 1, line);
       ClusterSpec spec;
       spec.prefix = f.get_or("prefix", "node");
-      spec.nodes = static_cast<int>(f.integer("nodes"));
-      spec.cores_per_node = static_cast<int>(f.integer("cores"));
-      spec.core_speed = f.number("speed");
+      spec.nodes = static_cast<int>(f.count("nodes"));
+      spec.cores_per_node = static_cast<int>(f.count("cores"));
+      spec.core_speed = f.speed("speed");
       spec.l2_bytes = f.bytes("l2");
       spec.link_bandwidth = f.bandwidth("bw");
       spec.link_latency = f.duration("lat");

@@ -14,7 +14,7 @@ std::uint64_t pair_key(HostId a, HostId b) {
 HostId Platform::add_host(const std::string& name, int cores, double speed, double l2_bytes) {
   TIR_ASSERT(cores >= 1);
   TIR_ASSERT(speed > 0.0);
-  if (host_names_.contains(name)) throw Error("duplicate host name: " + name);
+  if (host_names_.contains(name)) throw ConfigError("duplicate host name: " + name);
   Host h;
   h.id = static_cast<HostId>(hosts_.size());
   h.name = name;
@@ -94,6 +94,11 @@ Host& Platform::host(HostId id) {
 }
 
 const Link& Platform::link(LinkId id) const {
+  TIR_ASSERT(id >= 0 && static_cast<std::size_t>(id) < links_.size());
+  return links_[static_cast<std::size_t>(id)];
+}
+
+Link& Platform::link(LinkId id) {
   TIR_ASSERT(id >= 0 && static_cast<std::size_t>(id) < links_.size());
   return links_[static_cast<std::size_t>(id)];
 }

@@ -100,8 +100,10 @@ class Platform {
   const Host& host(HostId id) const;
   Host& host(HostId id);
   const Link& link(LinkId id) const;
+  Link& link(LinkId id);
   const Switch& switch_at(SwitchId id) const;
   HostId host_by_name(const std::string& name) const;  ///< throws if unknown
+  bool has_host(const std::string& name) const { return host_names_.contains(name); }
 
   std::size_t host_count() const { return hosts_.size(); }
   std::size_t link_count() const { return links_.size(); }

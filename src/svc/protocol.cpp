@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "base/binio.hpp"
+#include "platform/model.hpp"
 
 namespace tir::svc {
 
@@ -100,6 +101,17 @@ JobRequest parse_request(const std::string& line) {
   request.deadline_ms = j.num_or("deadline_ms", 0.0);
   if (request.deadline_ms < 0) throw ConfigError("deadline_ms must be >= 0");
   request.idem_key = j.str_or("idem", "");
+  request.perturb = j.str_or("perturb", "");
+  if (!request.perturb.empty()) {
+    // Validate the grammar at the wire so a malformed spec fails the request
+    // (ConfigError) instead of a worker mid-job.
+    (void)platform::PerturbationSpec::parse(request.perturb);
+  }
+  request.mc_replicates = static_cast<int>(j.num_or("mc_replicates", 0));
+  if (request.mc_replicates < 0) throw ConfigError("mc_replicates must be >= 0");
+  if (request.mc_replicates > 0 && request.perturb.empty()) {
+    throw ConfigError("mc_replicates needs a perturb spec");
+  }
 
   const Json& calibration = j.get("calibration");
   if (calibration.is_object()) {
@@ -138,6 +150,8 @@ std::string render_request(const JobRequest& request) {
   if (request.metrics) j.set("metrics", true);
   if (request.deadline_ms > 0) j.set("deadline_ms", request.deadline_ms);
   if (!request.idem_key.empty()) j.set("idem", request.idem_key);
+  if (!request.perturb.empty()) j.set("perturb", request.perturb);
+  if (request.mc_replicates > 0) j.set("mc_replicates", request.mc_replicates);
   if (request.calibrate) j.set("calibration", render_calibration(request.calibration));
   Json scenarios = Json::array();
   for (const ScenarioSpec& spec : request.scenarios) {

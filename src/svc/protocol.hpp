@@ -62,6 +62,15 @@ struct JobRequest {
   /// A re-submitted key whose job already completed is answered from the
   /// server's result cache, bit-identical to the first run.  Empty = none.
   std::string idem_key;
+  /// Platform perturbation spec (platform::PerturbationSpec grammar, see
+  /// docs/variability.md).  Empty = replay the platform as described.  When
+  /// set, every scenario is expanded over `mc_replicates` seeded platform
+  /// instances and the done line carries the aggregate quantiles; the
+  /// spec + seed are folded into the platform and calibration cache keys so
+  /// perturbed jobs never collide with unperturbed ones (or each other).
+  std::string perturb;
+  /// Monte Carlo replicates per scenario when `perturb` is set (<= 0: one).
+  int mc_replicates = 0;
 };
 
 /// The canonical content fingerprint of a predict request: what it asks for

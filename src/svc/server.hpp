@@ -89,6 +89,8 @@ class Server {
   bool stopping() const { return stopping_.load(); }
 
   CacheStats trace_cache_stats() const { return traces_.stats(); }
+  CacheStats platform_cache_stats() const { return platforms_.stats(); }
+  CacheStats calibration_cache_stats() const { return calibrations_.stats(); }
 
  private:
   /// One accepted connection: its socket plus the write lock that keeps

@@ -1,8 +1,9 @@
-// The CLI argument contract (satellite of the checkpoint PR): tir-profile
-// and trace_inspect must reject unknown flags, malformed operands and
-// stray positionals with the usage text and a NONZERO exit — a typo must
-// never silently replay the wrong scenario.  Exercised against the real
-// binaries (paths injected by CMake) through std::system.
+// The CLI argument contract: tir-profile, trace_inspect, replay_cli and
+// tit-convert must reject unknown flags, malformed operands and stray
+// positionals with the usage text and exit 2 — a typo must never silently
+// replay the wrong scenario (or convert the wrong number of ranks).
+// Exercised against the real binaries (paths injected by CMake) through
+// std::system.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -80,6 +81,66 @@ TEST(CliArgs, ProfileRunsColdAndWindowed) {
   // then a second windowed run adopts them from the file.
   EXPECT_EQ(run(profile + " -from 0 -to 0.001 -save-ckpt" + tail), 0);
   EXPECT_EQ(run(profile + " -from 0 -to 0.001" + tail), 0);
+}
+
+TEST(CliArgs, ReplayCliRejectsUnknownFlagsAndOperands) {
+  const std::string replay = TIR_REPLAY_CLI;
+  const std::string trace = " " + titb_fixture();
+  EXPECT_EQ(run(replay + " --bogus" + trace), 2);
+  EXPECT_EQ(run(replay + " -backend bogus" + trace), 2);  // not silently smpi
+  EXPECT_EQ(run(replay + " -np"), 2);                     // flag missing its value
+  EXPECT_EQ(run(replay + " -np banana" + trace), 2);
+  EXPECT_EQ(run(replay + " -np 0" + trace), 2);
+  EXPECT_EQ(run(replay + " -rate 1e9,banana" + trace), 2);
+  EXPECT_EQ(run(replay + " -jobs two" + trace), 2);
+  EXPECT_EQ(run(replay + trace + " stray.manifest"), 2);
+  EXPECT_EQ(run(replay), 2);  // no manifest at all
+}
+
+TEST(CliArgs, ReplayCliRejectsMalformedPerturbations) {
+  const std::string replay = TIR_REPLAY_CLI;
+  const std::string trace = " " + titb_fixture();
+  EXPECT_EQ(run(replay + " -perturb 'host.speed=gauss:0.1'" + trace), 2);
+  EXPECT_EQ(run(replay + " -perturb 'host.speed=uniform:nope'" + trace), 2);
+  EXPECT_EQ(run(replay + " -perturb 'seed=1;bogus.key=uniform:0.1'" + trace), 2);
+  EXPECT_EQ(run(replay + " -perturb 'host.speed=uniform:0.1' -mc-seeds 0" + trace), 2);
+  EXPECT_EQ(run(replay + " -mc-seeds 4" + trace), 2);  // -mc-seeds without -perturb...
+  EXPECT_EQ(run(replay + " -tornado" + trace), 2);     // ...and -tornado likewise
+}
+
+TEST(CliArgs, ReplayCliRunsPointAndMonteCarlo) {
+  const std::string replay = TIR_REPLAY_CLI;
+  const std::string trace = " " + titb_fixture();
+  EXPECT_EQ(run(replay + trace), 0);
+  EXPECT_EQ(run(replay + " -rate 1e9,2e9 -contention" + trace), 0);
+  EXPECT_EQ(run(replay +
+                " -perturb 'seed=3;host.speed=uniform:0.2;link.bw=lognormal:0.1'"
+                " -mc-seeds 3 -tornado -mc-report -" +
+                trace),
+            0);
+}
+
+TEST(CliArgs, TitConvertRejectsBadModesAndNprocs) {
+  const std::string convert = TIR_TIT_CONVERT;
+  EXPECT_EQ(run(convert), 2);
+  EXPECT_EQ(run(convert + " banana " + titb_fixture()), 2);  // unknown mode
+  EXPECT_EQ(run(convert + " info"), 2);                      // missing operand
+  EXPECT_EQ(run(convert + " -v info " + titb_fixture()), 2);
+  EXPECT_EQ(run(convert + " validate " + titb_fixture() + " banana"), 2);
+  EXPECT_EQ(run(convert + " validate " + titb_fixture() + " 0"), 2);
+  EXPECT_EQ(run(convert + " text2bin m.manifest out.titb 2x"), 2);
+}
+
+TEST(CliArgs, TitConvertRoundTripsAndValidates) {
+  const std::string convert = TIR_TIT_CONVERT;
+  const fs::path dir = fs::temp_directory_path() / "cli_args_convert_out";
+  fs::create_directories(dir);
+  EXPECT_EQ(run(convert + " info " + titb_fixture()), 0);
+  EXPECT_EQ(run(convert + " validate " + titb_fixture()), 0);
+  EXPECT_EQ(run(convert + " bin2text " + titb_fixture() + " " + dir.string() + " t"), 0);
+  const std::string manifest = (dir / "t.manifest").string();
+  EXPECT_EQ(run(convert + " text2bin " + manifest + " " + (dir / "back.titb").string()), 0);
+  fs::remove_all(dir);
 }
 
 }  // namespace

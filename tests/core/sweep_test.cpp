@@ -315,7 +315,7 @@ TEST(Sweep, RateLadderSpansTheRequestedRange) {
   ASSERT_EQ(ladder.size(), 16u);
   EXPECT_NEAR(ladder.front().config.rates[0], 1e9, 1e3);
   EXPECT_NEAR(ladder.back().config.rates[0], 4e9, 1e3);
-  for (const Scenario& sc : ladder) EXPECT_EQ(sc.platform, &p);
+  for (const Scenario& sc : ladder) EXPECT_EQ(sc.platform.get(), &p);
   EXPECT_THROW(exp::rate_ladder(p, -1.0, 4), ConfigError);
   EXPECT_THROW(exp::rate_ladder(p, 1e9, 0), ConfigError);
 }

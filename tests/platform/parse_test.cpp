@@ -87,6 +87,70 @@ TEST(Parse, MissingFieldFails) {
   EXPECT_THROW(parse_platform_string("host a switch=s cores=1\n"), ParseError);
 }
 
+// Semantic validation: a file that parses but describes an impossible
+// machine fails with a typed ConfigError naming the offending token —
+// not a TIR_ASSERT deep inside Platform, and never a silently-built
+// platform that divides by zero mid-replay.
+TEST(Parse, NegativeBandwidthIsAConfigError) {
+  const char* text = "link l0 bw=-1Gbps lat=1us\n";
+  try {
+    parse_platform_string(text);
+    FAIL() << "negative bandwidth accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("bw=-1Gbps"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(parse_platform_string("loopback bw=-8bps lat=1ns\n"), ConfigError);
+  EXPECT_THROW(parse_platform_string("link l0 bw=0bps lat=1us\n"), ConfigError);
+}
+
+TEST(Parse, NegativeLatencyIsAConfigError) {
+  try {
+    parse_platform_string("# comment\nlink l0 bw=1Gbps lat=-5us\n");
+    FAIL() << "negative latency accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("lat=-5us"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(parse_platform_string("loopback bw=8Gbps lat=-1ns\n"), ConfigError);
+  // Zero latency is a legitimate idealization and must keep parsing.
+  EXPECT_NO_THROW(parse_platform_string("link l0 bw=1Gbps lat=0s\n"));
+}
+
+TEST(Parse, ZeroRateHostIsAConfigError) {
+  try {
+    parse_platform_string("host a cores=1 speed=0 l2=1MiB\n");
+    FAIL() << "zero-rate host accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("speed=0"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(parse_platform_string("host a cores=1 speed=-2e9 l2=1MiB\n"), ConfigError);
+  EXPECT_THROW(parse_platform_string("host a cores=0 speed=1e9 l2=1MiB\n"), ConfigError);
+  EXPECT_THROW(parse_platform_string("cluster nodes=2 cores=1 speed=0 l2=1MiB bw=1Gbps lat=1us\n"),
+               ConfigError);
+  EXPECT_THROW(parse_platform_string("cluster nodes=0 cores=1 speed=1e9 l2=1MiB bw=1Gbps lat=1us\n"),
+               ConfigError);
+}
+
+TEST(Parse, DuplicateHostNameIsAConfigError) {
+  const char* text =
+      "host a cores=1 speed=1e9 l2=1MiB\n"
+      "host a cores=2 speed=2e9 l2=1MiB\n";
+  try {
+    parse_platform_string(text);
+    FAIL() << "duplicate host accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("'a'"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  // A cluster whose generated names collide with an explicit host is the
+  // same mistake through a different door (caught by Platform::add_host).
+  EXPECT_THROW(parse_platform_string("host n-0 cores=1 speed=1e9 l2=1MiB\n"
+                                     "cluster prefix=n nodes=2 cores=1 speed=1e9 l2=1MiB "
+                                     "bw=1Gbps lat=1us\n"),
+               ConfigError);
+}
+
 TEST(ParseWrite, BordereauRoundTripsThroughText) {
   const Platform original = bordereau();
   const Platform copy = parse_platform_string(write_platform_string(original));
